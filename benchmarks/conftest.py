@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark suite."""
+
+import sys
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _deep_recursion():
+    """The tree-walking interpreter needs generous Python stack room."""
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(400000)
+    yield
+    sys.setrecursionlimit(old)

@@ -1,0 +1,51 @@
+"""Ablation: the fictitious null region (paper Sec 8, future work).
+
+With the extension every null literal is typed at the null region and
+contributes no lifetime constraints.  Measured effects: the constraint
+sets shrink (fewer regions and atoms per method), inference gets no
+slower, and everything still checks and runs.
+"""
+
+import pytest
+
+from repro.bench import REGJAVA_PROGRAMS
+from repro.checking import check_target
+from repro.core import InferenceConfig, infer_source
+
+_NULL_HEAVY = ("mergesort", "reynolds3", "naive-life")
+
+
+def _constraint_volume(result):
+    """Total atoms across all preconditions and invariants."""
+    return sum(len(a.body) for a in result.target.q)
+
+
+@pytest.mark.parametrize("enabled", [False, True], ids=["plain", "null-region"])
+@pytest.mark.parametrize("name", _NULL_HEAVY)
+def test_nullregion_inference_cost(benchmark, name, enabled):
+    program = REGJAVA_PROGRAMS[name]
+    config = InferenceConfig(null_fictitious_regions=enabled)
+
+    result = benchmark(lambda: infer_source(program.source, config))
+
+    assert check_target(result.target).ok
+    benchmark.extra_info["constraint_atoms"] = _constraint_volume(result)
+    assert benchmark.stats.stats.mean < 1.0
+
+
+def test_nullregion_never_increases_constraints(benchmark):
+    def measure():
+        out = {}
+        for name in _NULL_HEAVY:
+            program = REGJAVA_PROGRAMS[name]
+            plain = infer_source(program.source, InferenceConfig())
+            ext = infer_source(
+                program.source, InferenceConfig(null_fictitious_regions=True)
+            )
+            out[name] = (_constraint_volume(plain), _constraint_volume(ext))
+        return out
+
+    volumes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for name, (plain, ext) in volumes.items():
+        benchmark.extra_info[name] = f"{plain} -> {ext}"
+        assert ext <= plain, f"{name}: null regions must not add constraints"

@@ -1,0 +1,63 @@
+"""Ablation: the three region-subtyping modes (paper Sec 3.2).
+
+Reproduces the design-choice story behind Fig 8's three space columns on
+the two discriminating programs:
+
+* Reynolds3 -- field subtyping is what allows per-frame reclamation of the
+  temporary list (no/object modes pin every cell to the base list's
+  region);
+* foo-sum -- object subtyping is what keeps the per-iteration box out of
+  the accumulator's region.
+
+Also measures whether the extra precision costs inference time (it should
+not: the constraint sets are the same size, only some equalities become
+outlives atoms).
+"""
+
+import pytest
+
+from repro.bench import REGJAVA_PROGRAMS
+from repro.core import InferenceConfig, SubtypingMode, infer_source
+from repro.runtime import Interpreter
+
+_MODES = (SubtypingMode.NONE, SubtypingMode.OBJECT, SubtypingMode.FIELD)
+
+
+def _space_ratio(program, mode):
+    result = infer_source(program.source, InferenceConfig(mode=mode))
+    interp = Interpreter(result.target)
+    interp.run_static(program.entry, list(program.run_args))
+    return interp.stats.space_usage_ratio
+
+
+@pytest.mark.parametrize("mode", _MODES, ids=lambda m: m.value)
+def test_subtyping_mode_inference_cost(benchmark, mode):
+    """Inference time is mode-insensitive (within noise)."""
+    program = REGJAVA_PROGRAMS["reynolds3"]
+    benchmark(lambda: infer_source(program.source, InferenceConfig(mode=mode)))
+    assert benchmark.stats.stats.mean < 1.0
+
+
+def test_reynolds3_needs_field_subtyping(benchmark):
+    program = REGJAVA_PROGRAMS["reynolds3"]
+
+    def measure():
+        return {m.value: _space_ratio(program, m) for m in _MODES}
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info.update(ratios)
+    assert ratios["none"] == pytest.approx(1.0)
+    assert ratios["object"] == pytest.approx(1.0)
+    assert ratios["field"] < 0.2
+
+
+def test_foosum_needs_object_subtyping(benchmark):
+    program = REGJAVA_PROGRAMS["foo-sum"]
+
+    def measure():
+        return {m.value: _space_ratio(program, m) for m in _MODES}
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info.update(ratios)
+    assert ratios["object"] < ratios["none"] / 5
+    assert ratios["field"] == pytest.approx(ratios["object"], rel=0.2)

@@ -1,0 +1,24 @@
+"""Fig 8, checking-time column: region type checking per RegJava program.
+
+In the paper checking is slower than inference for every program but still
+sub-second; the assertions encode only the sub-second bound (absolute
+ratios depend on the host).
+"""
+
+import pytest
+
+from repro.bench import REGJAVA_PROGRAMS
+from repro.checking import check_target
+from repro.core import InferenceConfig, SubtypingMode, infer_source
+
+
+@pytest.mark.parametrize("name", sorted(REGJAVA_PROGRAMS))
+def test_fig8_checking_time(benchmark, name):
+    program = REGJAVA_PROGRAMS[name]
+    result = infer_source(program.source, InferenceConfig(mode=SubtypingMode.FIELD))
+
+    report = benchmark(lambda: check_target(result.target))
+
+    benchmark.extra_info["paper_checking_seconds"] = program.paper.checking_seconds
+    assert report.ok, report.issues[:3]
+    assert benchmark.stats.stats.mean < 1.0

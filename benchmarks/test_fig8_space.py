@@ -1,0 +1,71 @@
+"""Fig 8, space-usage columns: peak-live / total-allocation per program
+under the three region-subtyping modes.
+
+The assertions encode the paper's qualitative results:
+
+* sieve, naive life, optimized life (dangling), optimized life (stack)
+  reuse nothing (ratio 1) under every mode;
+* ackermann, merge sort, mandelbrot, optimized life (array) reuse space
+  under every mode;
+* Reynolds3 reuses space *only* with field subtyping;
+* foo-sum reuses most space only with object (or field) subtyping.
+
+Each benchmark measures one end-to-end run (inference is done once
+outside the timed region); the measured ratio is attached as extra info.
+"""
+
+import pytest
+
+from repro.bench import REGJAVA_PROGRAMS
+from repro.core import InferenceConfig, SubtypingMode, infer_source
+from repro.runtime import Interpreter
+
+#: programs whose ratio must stay 1.0 under every mode
+_NO_REUSE = ("sieve", "naive-life", "opt-life-dangling", "opt-life-stack")
+#: programs that must reuse space under every mode
+_ALWAYS_REUSE = ("ackermann", "mergesort", "mandelbrot", "opt-life-array")
+
+_MODES = (SubtypingMode.NONE, SubtypingMode.OBJECT, SubtypingMode.FIELD)
+
+
+def _ratio(program, mode):
+    result = infer_source(program.source, InferenceConfig(mode=mode))
+    interp = Interpreter(result.target)
+    interp.run_static(program.entry, list(program.run_args))
+    return interp.stats.space_usage_ratio
+
+
+@pytest.mark.parametrize("mode", _MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("name", sorted(REGJAVA_PROGRAMS))
+def test_fig8_space_usage(benchmark, name, mode):
+    program = REGJAVA_PROGRAMS[name]
+    result = infer_source(program.source, InferenceConfig(mode=mode))
+
+    def run():
+        interp = Interpreter(result.target)
+        interp.run_static(program.entry, list(program.run_args))
+        return interp.stats.space_usage_ratio
+
+    ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["space_usage_ratio"] = ratio
+    paper = {
+        SubtypingMode.NONE: program.paper.ratio_no_sub,
+        SubtypingMode.OBJECT: program.paper.ratio_object_sub,
+        SubtypingMode.FIELD: program.paper.ratio_field_sub,
+    }[mode]
+    benchmark.extra_info["paper_ratio"] = paper
+
+    if name in _NO_REUSE:
+        assert ratio == pytest.approx(1.0)
+    elif name in _ALWAYS_REUSE:
+        assert ratio < 0.5
+    elif name == "reynolds3":
+        if mode is SubtypingMode.FIELD:
+            assert ratio < 0.2
+        else:
+            assert ratio == pytest.approx(1.0)
+    elif name == "foo-sum":
+        if mode is SubtypingMode.NONE:
+            assert 0.2 < ratio < 0.6  # paper: 0.340
+        else:
+            assert ratio < 0.05  # paper: 0.010

@@ -1,0 +1,70 @@
+"""Scaling micro-benchmarks for the constraint-solver substrate.
+
+Not a paper table, but the engine underneath every figure: entailment,
+cycle coalescing and projection on synthetic constraint graphs of
+increasing size.  Keeps the solver's asymptotics honest as the codebase
+evolves.
+"""
+
+import pytest
+
+from repro.regions import (
+    Constraint,
+    Outlives,
+    Region,
+    RegionEq,
+    RegionSolver,
+)
+
+
+def _chain(n):
+    """r0 >= r1 >= ... >= rn."""
+    regions = Region.fresh_many(n + 1)
+    atoms = [Outlives(a, b) for a, b in zip(regions, regions[1:])]
+    return regions, Constraint.of(*atoms)
+
+
+def _cycle(n):
+    regions = Region.fresh_many(n)
+    atoms = [Outlives(a, b) for a, b in zip(regions, regions[1:])]
+    atoms.append(Outlives(regions[-1], regions[0]))
+    return regions, Constraint.of(*atoms)
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+def test_chain_entailment(benchmark, n):
+    regions, constraint = _chain(n)
+
+    def run():
+        solver = RegionSolver(constraint)
+        assert solver.entails_outlives(regions[0], regions[-1])
+        assert not solver.entails_outlives(regions[-1], regions[0])
+        return solver
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+def test_cycle_coalescing(benchmark, n):
+    regions, constraint = _cycle(n)
+
+    def run():
+        solver = RegionSolver(constraint)
+        solver.close()
+        assert solver.same_region(regions[0], regions[-1])
+        return solver
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n", [50, 200])
+def test_projection(benchmark, n):
+    regions, constraint = _chain(n)
+    interface = [regions[0], regions[n // 2], regions[-1]]
+
+    def run():
+        solver = RegionSolver(constraint)
+        return solver.project(interface)
+
+    projected = benchmark(run)
+    assert len(projected) >= 1

@@ -1,0 +1,30 @@
+"""Regenerate the paper's Fig 8 table (RegJava benchmarks).
+
+Run:  python examples/fig8_table.py [--quick]
+
+For each of the ten RegJava programs: source/annotation size, inference and
+checking time, and the space-usage / total-allocation ratio under the three
+region-subtyping modes, next to the paper's reported numbers.
+
+``--quick`` uses the smaller test inputs (seconds instead of minutes).
+"""
+
+import sys
+
+from repro.bench import fig8_table
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    print(fig8_table(quick=quick))
+    print(
+        "\nShape checks (the reproduction target):\n"
+        "  * sieve / naive-life / opt-life-dangling / opt-life-stack: no reuse (1.0)\n"
+        "  * ackermann / mergesort / mandelbrot / opt-life-array: reuse under every mode\n"
+        "  * reynolds3: reuse only under FIELD subtyping\n"
+        "  * foo-sum:  full reuse only under OBJECT/FIELD subtyping"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Memory profile: the space-reuse effect of each subtyping mode.
+
+Run:  python examples/memory_profile.py
+
+A compact live version of Fig 8's rightmost columns: runs Reynolds3 and
+foo-sum under the three region-subtyping modes on the region-stack
+allocator and prints the measured space-usage ratios next to the paper's.
+"""
+
+import sys
+
+from repro import InferenceConfig, Interpreter, SubtypingMode, infer_source
+from repro.bench import REGJAVA_PROGRAMS
+
+MODES = (SubtypingMode.NONE, SubtypingMode.OBJECT, SubtypingMode.FIELD)
+
+
+def profile(name: str) -> None:
+    program = REGJAVA_PROGRAMS[name]
+    paper = {
+        SubtypingMode.NONE: program.paper.ratio_no_sub,
+        SubtypingMode.OBJECT: program.paper.ratio_object_sub,
+        SubtypingMode.FIELD: program.paper.ratio_field_sub,
+    }
+    print(f"=== {name} (input {program.run_args[0]}) ===")
+    for mode in MODES:
+        result = infer_source(program.source, InferenceConfig(mode=mode))
+        interp = Interpreter(result.target)
+        interp.run_static(program.entry, list(program.run_args))
+        stats = interp.stats
+        p = paper[mode]
+        paper_txt = f"{p:.3f}" if p is not None else "-"
+        print(
+            f"  {mode.value:7s}: ratio {stats.space_usage_ratio:6.3f} "
+            f"(paper {paper_txt})  "
+            f"[{stats.objects_allocated} objects, peak {stats.peak_live}B "
+            f"of {stats.total_allocated}B, {stats.regions_created} regions]"
+        )
+    print()
+
+
+def main() -> None:
+    sys.setrecursionlimit(400000)
+    profile("reynolds3")
+    profile("foo-sum")
+    print(
+        "Reading: Reynolds3 only reclaims its temporary lists under FIELD\n"
+        "subtyping; foo-sum only frees its per-iteration boxes once OBJECT\n"
+        "subtyping stops the conditional assignment from coalescing regions."
+    )
+
+
+if __name__ == "__main__":
+    main()

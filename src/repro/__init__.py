@@ -1,0 +1,63 @@
+"""repro -- Region Inference for an Object-Oriented Language (PLDI 2004).
+
+A complete Python reproduction of Chin, Craciun, Qin & Rinard's automatic
+region inference system for Core-Java, including:
+
+* the Core-Java frontend (lexer, parser, loop conversion, normal typing);
+* the region-constraint substrate (solver, abstractions, fixed points);
+* the inference engine (Fig 3 rules, three subtyping modes, letreg
+  localisation, override resolution, downcast safety);
+* an independent region type checker (the Theorem 1 oracle);
+* a region-stack runtime with space accounting and a dangling oracle;
+* the RegJava (Fig 8) and Olden (Fig 9) benchmark suites and the harness
+  that regenerates both tables.
+
+Quickstart::
+
+    from repro import infer_source, pretty_target, check_target
+
+    result = infer_source(open("program.cj").read())
+    print(pretty_target(result.target))
+    assert check_target(result.target).ok
+"""
+
+from .checking import check_target, erase_program
+from .core import (
+    DowncastStrategy,
+    InferenceConfig,
+    InferenceError,
+    InferenceResult,
+    RegionInference,
+    SubtypingMode,
+    infer_program,
+    infer_source,
+)
+from .frontend import parse_expr, parse_program
+from .lang.pretty import pretty_program, pretty_target
+from .runtime import DanglingAccessError, Interpreter, SourceInterpreter
+from .typing import NormalTypeError, check_program
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "check_target",
+    "erase_program",
+    "DowncastStrategy",
+    "InferenceConfig",
+    "InferenceError",
+    "InferenceResult",
+    "RegionInference",
+    "SubtypingMode",
+    "infer_program",
+    "infer_source",
+    "parse_expr",
+    "parse_program",
+    "pretty_program",
+    "pretty_target",
+    "DanglingAccessError",
+    "Interpreter",
+    "SourceInterpreter",
+    "NormalTypeError",
+    "check_program",
+    "__version__",
+]

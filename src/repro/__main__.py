@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``infer FILE``   -- infer region annotations and print the target program
+* ``check FILE``   -- infer, then verify with the region type checker
+* ``run FILE``     -- infer and execute a static entry point on the
+  region-based interpreter, reporting space statistics
+* ``fig8`` / ``fig9`` -- regenerate the paper's evaluation tables
+
+Options: ``--mode {none,object,field}``, ``--downcast {padding,first-region,
+reject}``, ``--entry NAME``, ``--args N [N ...]``, ``--quick``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .bench import fig8_table, fig9_table
+from .checking import check_target
+from .core import DowncastStrategy, InferenceConfig, SubtypingMode, infer_source
+from .lang.pretty import pretty_target
+from .runtime import Interpreter
+
+
+def _config(args: argparse.Namespace) -> InferenceConfig:
+    return InferenceConfig(
+        mode=SubtypingMode(args.mode),
+        downcast=DowncastStrategy(args.downcast),
+        polymorphic_recursion=not args.monomorphic,
+        localize_blocks=not args.no_letreg,
+    )
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text()
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    result = infer_source(_read(args.file), _config(args))
+    print(pretty_target(result.target))
+    if args.show_q:
+        print("// constraint abstractions:")
+        for abstraction in sorted(result.target.q, key=lambda a: a.name):
+            print(f"//   {abstraction}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    config = _config(args)
+    result = infer_source(_read(args.file), config)
+    report = check_target(
+        result.target, mode=config.mode.value, downcast=config.downcast.value
+    )
+    if report.ok:
+        print(f"OK: {report.obligations} obligations discharged")
+        return 0
+    for issue in report.issues:
+        print(f"error: {issue}", file=sys.stderr)
+    return 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    sys.setrecursionlimit(400000)
+    result = infer_source(_read(args.file), _config(args))
+    interp = Interpreter(result.target)
+    value = interp.run_static(args.entry, args.args)
+    stats = interp.stats
+    print(f"result: {value}")
+    print(
+        f"allocation: {stats.objects_allocated} objects / "
+        f"{stats.total_allocated} bytes; peak live {stats.peak_live} bytes; "
+        f"{stats.regions_created} regions "
+        f"(space-usage ratio {stats.space_usage_ratio:.3f})"
+    )
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    print(fig8_table(quick=args.quick))
+    return 0
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    print(fig9_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Region inference for Core-Java (PLDI 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--mode",
+            choices=[m.value for m in SubtypingMode],
+            default="field",
+            help="region subtyping mode (Sec 3.2)",
+        )
+        p.add_argument(
+            "--downcast",
+            choices=[s.value for s in DowncastStrategy],
+            default="padding",
+            help="downcast-safety strategy (Sec 5)",
+        )
+        p.add_argument(
+            "--monomorphic",
+            action="store_true",
+            help="disable region-polymorphic recursion (ablation)",
+        )
+        p.add_argument(
+            "--no-letreg",
+            action="store_true",
+            help="disable letreg localisation (ablation)",
+        )
+
+    p_infer = sub.add_parser("infer", help="print the region-annotated program")
+    p_infer.add_argument("file")
+    p_infer.add_argument("--show-q", action="store_true", help="print Q too")
+    common(p_infer)
+    p_infer.set_defaults(func=cmd_infer)
+
+    p_check = sub.add_parser("check", help="infer and verify")
+    p_check.add_argument("file")
+    common(p_check)
+    p_check.set_defaults(func=cmd_check)
+
+    p_run = sub.add_parser("run", help="infer and execute on the region runtime")
+    p_run.add_argument("file")
+    p_run.add_argument("--entry", default="main", help="static method to run")
+    p_run.add_argument("--args", nargs="*", type=int, default=[], help="int arguments")
+    common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p8 = sub.add_parser("fig8", help="regenerate the Fig 8 table")
+    p8.add_argument("--quick", action="store_true")
+    p8.set_defaults(func=cmd_fig8)
+
+    p9 = sub.add_parser("fig9", help="regenerate the Fig 9 table")
+    p9.set_defaults(func=cmd_fig9)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

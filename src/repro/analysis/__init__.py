@@ -1,0 +1,19 @@
+"""Post-inference analyses and reporting."""
+
+from .report import (
+    AllocationKind,
+    ClassReport,
+    MethodReport,
+    ProgramReport,
+    render_report,
+    summarize,
+)
+
+__all__ = [
+    "AllocationKind",
+    "ClassReport",
+    "MethodReport",
+    "ProgramReport",
+    "render_report",
+    "summarize",
+]

@@ -1,0 +1,35 @@
+"""Benchmark programs (RegJava / Olden) and the Fig 8 / Fig 9 harness."""
+
+from .harness import (
+    Fig8Row,
+    Fig9Row,
+    MODES,
+    count_annotation_lines,
+    fig8_rows,
+    fig8_table,
+    fig9_rows,
+    fig9_table,
+    measure_program,
+)
+from .olden import OLDEN_PROGRAMS, OldenPaperRow, OldenProgram, olden_program
+from .regjava import REGJAVA_PROGRAMS, BenchmarkProgram, PaperRow, regjava_program
+
+__all__ = [
+    "Fig8Row",
+    "Fig9Row",
+    "MODES",
+    "count_annotation_lines",
+    "fig8_rows",
+    "fig8_table",
+    "fig9_rows",
+    "fig9_table",
+    "measure_program",
+    "OLDEN_PROGRAMS",
+    "OldenPaperRow",
+    "OldenProgram",
+    "olden_program",
+    "REGJAVA_PROGRAMS",
+    "BenchmarkProgram",
+    "PaperRow",
+    "regjava_program",
+]

@@ -1,0 +1,238 @@
+"""The evaluation harness: regenerates the paper's Fig 8 and Fig 9 tables.
+
+* :func:`fig8_rows` / :func:`fig8_table` -- per-RegJava-program statistics:
+  source size, annotation size, inference and checking time, space-usage /
+  total-allocation ratio under the three subtyping modes, and localised
+  region counts, side by side with the paper's reported numbers.
+* :func:`fig9_rows` / :func:`fig9_table` -- Olden inference times.
+
+Absolute times and sizes differ from the paper (Python tree-walker vs GHC
+prototype, scaled inputs); the reproduction target is the *shape*: which
+programs reuse space, under which subtyping mode, and that inference stays
+well under a second per program.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..checking import check_target
+from ..core import InferenceConfig, SubtypingMode, infer_source
+from ..lang.pretty import pretty_target
+from ..runtime import Interpreter
+from .olden import OLDEN_PROGRAMS, OldenProgram
+from .regjava import REGJAVA_PROGRAMS, BenchmarkProgram
+
+__all__ = [
+    "Fig8Row",
+    "Fig9Row",
+    "fig8_rows",
+    "fig8_table",
+    "fig9_rows",
+    "fig9_table",
+    "count_annotation_lines",
+    "measure_program",
+    "MODES",
+]
+
+MODES = (SubtypingMode.NONE, SubtypingMode.OBJECT, SubtypingMode.FIELD)
+
+#: recursion headroom for the deeper benchmark runs
+_RECURSION_LIMIT = 400000
+
+
+def count_annotation_lines(target_text: str) -> int:
+    """Lines of a pretty-printed target program carrying region syntax.
+
+    Approximates the paper's "Ann. (lines)" column: a line counts when it
+    mentions a region instantiation, a ``letreg``, or a ``where`` clause.
+    """
+    count = 0
+    for line in target_text.splitlines():
+        if "letreg" in line or "where" in line or "<r" in line or "<heap" in line:
+            count += 1
+    return count
+
+
+@dataclass
+class Fig8Row:
+    """One measured row of the Fig 8 table."""
+
+    name: str
+    source_lines: int
+    annotation_lines: int
+    inference_seconds: float
+    checking_seconds: float
+    input_label: str
+    ratios: Dict[str, float] = field(default_factory=dict)  # mode -> ratio
+    localized: Dict[str, int] = field(default_factory=dict)  # mode -> letregs
+    paper: Optional[object] = None
+
+
+@dataclass
+class Fig9Row:
+    """One measured row of the Fig 9 table."""
+
+    name: str
+    source_lines: int
+    annotation_lines: int
+    inference_seconds: float
+    paper: Optional[object] = None
+
+
+def _source_lines(text: str) -> int:
+    return sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("//")
+    )
+
+
+def measure_program(
+    program: BenchmarkProgram,
+    mode: SubtypingMode,
+    *,
+    run: bool = True,
+    args: Optional[Sequence[int]] = None,
+) -> Tuple[float, float, float, int, int]:
+    """(inference s, checking s, space ratio, letregs, annotation lines)."""
+    t0 = time.perf_counter()
+    result = infer_source(program.source, InferenceConfig(mode=mode))
+    t_inf = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    report = check_target(result.target, mode=mode.value)
+    t_chk = time.perf_counter() - t0
+    if not report.ok:
+        raise AssertionError(
+            f"{program.name} failed region checking under {mode.value}: "
+            f"{report.issues[0]}"
+        )
+    ann = count_annotation_lines(pretty_target(result.target))
+    ratio = float("nan")
+    if run:
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(_RECURSION_LIMIT)
+        try:
+            interp = Interpreter(result.target)
+            interp.run_static(program.entry, list(args or program.run_args))
+            ratio = interp.stats.space_usage_ratio
+        finally:
+            sys.setrecursionlimit(old_limit)
+    return t_inf, t_chk, ratio, result.total_localized, ann
+
+
+def fig8_rows(
+    *, run: bool = True, quick: bool = False, names: Optional[Sequence[str]] = None
+) -> List[Fig8Row]:
+    """Measure every RegJava program (or the named subset)."""
+    rows: List[Fig8Row] = []
+    for name, program in REGJAVA_PROGRAMS.items():
+        if names is not None and name not in names:
+            continue
+        args = program.test_args if quick else program.run_args
+        row = Fig8Row(
+            name=name,
+            source_lines=_source_lines(program.source),
+            annotation_lines=0,
+            inference_seconds=0.0,
+            checking_seconds=0.0,
+            input_label=str(args[0]),
+            paper=program.paper,
+        )
+        for mode in MODES:
+            t_inf, t_chk, ratio, localized, ann = measure_program(
+                program, mode, run=run, args=args
+            )
+            row.ratios[mode.value] = ratio
+            row.localized[mode.value] = localized
+            if mode is SubtypingMode.FIELD:
+                row.inference_seconds = t_inf
+                row.checking_seconds = t_chk
+                row.annotation_lines = ann
+        rows.append(row)
+    return rows
+
+
+def fig9_rows(names: Optional[Sequence[str]] = None) -> List[Fig9Row]:
+    """Measure inference time for every Olden program."""
+    rows: List[Fig9Row] = []
+    for name, program in OLDEN_PROGRAMS.items():
+        if names is not None and name not in names:
+            continue
+        t0 = time.perf_counter()
+        result = infer_source(program.source, InferenceConfig())
+        t_inf = time.perf_counter() - t0
+        report = check_target(result.target)
+        if not report.ok:
+            raise AssertionError(
+                f"{name} failed region checking: {report.issues[0]}"
+            )
+        rows.append(
+            Fig9Row(
+                name=name,
+                source_lines=_source_lines(program.source),
+                annotation_lines=count_annotation_lines(pretty_target(result.target)),
+                inference_seconds=t_inf,
+                paper=program.paper,
+            )
+        )
+    return rows
+
+
+def _fmt_ratio(x: Optional[float]) -> str:
+    if x is None:
+        return "   - "
+    if x != x:  # NaN
+        return "  n/a"
+    return f"{x:5.3f}"
+
+
+def fig8_table(rows: Optional[List[Fig8Row]] = None, **kwargs) -> str:
+    """Render the Fig 8 comparison table (paper vs measured)."""
+    rows = rows if rows is not None else fig8_rows(**kwargs)
+    out: List[str] = []
+    out.append(
+        "Fig 8: Comparative statistics on inference/checking and region subtyping"
+    )
+    out.append(
+        f"{'program':18s} {'lines':>5s} {'ann':>4s} {'inf(s)':>7s} {'chk(s)':>7s} "
+        f"{'input':>7s} | {'no-sub':>6s} {'objsub':>6s} {'fldsub':>6s} "
+        f"| paper: {'no':>5s} {'obj':>5s} {'fld':>5s} {'diff':>4s}"
+    )
+    out.append("-" * 118)
+    for r in rows:
+        p = r.paper
+        out.append(
+            f"{r.name:18s} {r.source_lines:5d} {r.annotation_lines:4d} "
+            f"{r.inference_seconds:7.3f} {r.checking_seconds:7.3f} {r.input_label:>7s} | "
+            f"{_fmt_ratio(r.ratios.get('none')):>6s} "
+            f"{_fmt_ratio(r.ratios.get('object')):>6s} "
+            f"{_fmt_ratio(r.ratios.get('field')):>6s} | "
+            f"{'':6s} {_fmt_ratio(p.ratio_no_sub):>5s} "
+            f"{_fmt_ratio(p.ratio_object_sub):>5s} {_fmt_ratio(p.ratio_field_sub):>5s} "
+            f"{p.diff_vs_regjava if p.diff_vs_regjava is not None else '-':>4}"
+        )
+    return "\n".join(out)
+
+
+def fig9_table(rows: Optional[List[Fig9Row]] = None) -> str:
+    """Render the Fig 9 comparison table (paper vs measured)."""
+    rows = rows if rows is not None else fig9_rows()
+    out: List[str] = []
+    out.append("Fig 9: Region inference times for the Olden benchmark programs")
+    out.append(
+        f"{'program':12s} {'lines':>6s} {'ann':>5s} {'inf(s)':>8s} | "
+        f"paper: {'lines':>6s} {'ann':>5s} {'inf(s)':>7s}"
+    )
+    out.append("-" * 70)
+    for r in rows:
+        p = r.paper
+        out.append(
+            f"{r.name:12s} {r.source_lines:6d} {r.annotation_lines:5d} "
+            f"{r.inference_seconds:8.3f} |        {p.source_lines:6d} "
+            f"{p.annotation_lines:5d} {p.inference_seconds:7.2f}"
+        )
+    return "\n".join(out)

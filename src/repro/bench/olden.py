@@ -1,0 +1,996 @@
+"""The Olden benchmark suite (paper Fig 9).
+
+Core-Java ports of the ten Olden pointer-intensive programs the paper uses
+to measure the *scalability* of region inference (Fig 9 reports source
+size, annotation size and inference time per program).
+
+The ports preserve each benchmark's data-structure shape -- the input to
+region inference -- while replacing floating-point math with integer
+arithmetic (Core-Java has only ``int``/``bool``).  Sizes are scaled for a
+tree-walking interpreter; every program still *runs* (the suite's tests
+execute each entry point and compare against the region-free source
+interpreter).
+
+``em3d``, ``health`` and ``mst`` intentionally use *mutually recursive*
+class declarations (node/list pairs), exercising the shared-tail region
+scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["OldenPaperRow", "OldenProgram", "OLDEN_PROGRAMS", "olden_program"]
+
+
+@dataclass(frozen=True)
+class OldenPaperRow:
+    """The paper's Fig 9 row for one program."""
+
+    source_lines: int
+    annotation_lines: int
+    inference_seconds: float
+
+
+@dataclass(frozen=True)
+class OldenProgram:
+    name: str
+    source: str
+    entry: str
+    run_args: Tuple[int, ...]
+    test_args: Tuple[int, ...]
+    paper: OldenPaperRow
+    expected_test_result: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# treeadd -- recursive sum over a binary tree
+# ---------------------------------------------------------------------------
+
+TREEADD = """
+class TreeNode extends Object {
+  int value;
+  TreeNode left;
+  TreeNode right;
+}
+
+TreeNode buildTree(int depth, int value) {
+  if (depth == 0) { (TreeNode) null }
+  else {
+    new TreeNode(value,
+                 buildTree(depth - 1, 2 * value),
+                 buildTree(depth - 1, 2 * value + 1))
+  }
+}
+
+int addTree(TreeNode t) {
+  if (t == null) { 0 } else { t.value + addTree(t.left) + addTree(t.right) }
+}
+
+int treeadd(int depth) {
+  TreeNode root = buildTree(depth, 1);
+  addTree(root)
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# bisort -- bitonic sort over a perfect binary tree (in-place swaps)
+# ---------------------------------------------------------------------------
+
+BISORT = """
+class SortNode extends Object {
+  int value;
+  SortNode left;
+  SortNode right;
+}
+
+int nextRandom(int seed) {
+  int v = (seed * 1103515245 + 12345) % 2147483647;
+  if (v < 0) { 0 - v } else { v }
+}
+
+SortNode buildRandom(int depth, int seed) {
+  if (depth == 0) { (SortNode) null }
+  else {
+    new SortNode(nextRandom(seed) % 100000,
+                 buildRandom(depth - 1, nextRandom(seed)),
+                 buildRandom(depth - 1, nextRandom(nextRandom(seed))))
+  }
+}
+
+void swapValues(SortNode a, SortNode b) {
+  int tmp = a.value;
+  a.value = b.value;
+  b.value = tmp;
+}
+
+void compareExchange(SortNode a, SortNode b, int up) {
+  if (a == null || b == null) { }
+  else {
+    if (up == 1) {
+      if (a.value > b.value) { swapValues(a, b); } else { }
+    } else {
+      if (a.value < b.value) { swapValues(a, b); } else { }
+    }
+  }
+}
+
+void bimergePass(SortNode a, SortNode b, int up) {
+  if (a == null || b == null) { }
+  else {
+    compareExchange(a, b, up);
+    bimergePass(a.left, b.left, up);
+    bimergePass(a.right, b.right, up)
+  }
+}
+
+void bimerge(SortNode t, int up) {
+  if (t == null) { }
+  else {
+    bimergePass(t.left, t.right, up);
+    bimerge(t.left, up);
+    bimerge(t.right, up)
+  }
+}
+
+void bisortRec(SortNode t, int up) {
+  if (t == null) { }
+  else {
+    bisortRec(t.left, 1);
+    bisortRec(t.right, 0);
+    bimerge(t, up)
+  }
+}
+
+int treeMin(SortNode t, int best) {
+  if (t == null) { best }
+  else {
+    int b = best;
+    if (t.value < b) { b = t.value; } else { }
+    treeMin(t.right, treeMin(t.left, b))
+  }
+}
+
+int checksumTree(SortNode t, int acc) {
+  if (t == null) { acc }
+  else { checksumTree(t.right, checksumTree(t.left, (acc * 31 + t.value) % 1000000007)) }
+}
+
+int bisort(int depth) {
+  SortNode root = buildRandom(depth, 7);
+  bisortRec(root, 1);
+  checksumTree(root, 0) + treeMin(root, 2147483647)
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# em3d -- bipartite E/H node graph (mutually recursive Node / NodeList)
+# ---------------------------------------------------------------------------
+
+EM3D = """
+// Electromagnetic wave propagation on a bipartite graph.  Node and
+// NodeList reference each other: a mutually recursive class pair.
+class Node extends Object {
+  int value;
+  int coeff;
+  NodeList fromList;
+  Node nextNode;
+}
+
+class NodeList extends Object {
+  Node item;
+  NodeList rest;
+}
+
+Node makeNodes(int n, int seed) {
+  if (n == 0) { (Node) null }
+  else {
+    int v = (seed * 16807) % 2147483647;
+    if (v < 0) { v = 0 - v; } else { }
+    new Node(v % 1000, (v % 7) + 1, (NodeList) null, makeNodes(n - 1, v))
+  }
+}
+
+Node nthNode(Node first, int i) {
+  if (i == 0) { first } else { nthNode(first.nextNode, i - 1) }
+}
+
+int countNodes(Node first) {
+  if (first == null) { 0 } else { 1 + countNodes(first.nextNode) }
+}
+
+void wire(Node from, Node to, int degree, int seed) {
+  if (to == null) { }
+  else {
+    int n = countNodes(from);
+    int k = 0;
+    int s = seed;
+    while (k < degree) {
+      s = (s * 48271) % 2147483647;
+      if (s < 0) { s = 0 - s; } else { }
+      to.fromList = new NodeList(nthNode(from, s % n), to.fromList);
+      k = k + 1;
+    }
+    wire(from, to.nextNode, degree, s)
+  }
+}
+
+int weigh(NodeList deps) {
+  if (deps == null) { 0 }
+  else { (deps.item.value * deps.item.coeff) / 8 + weigh(deps.rest) }
+}
+
+void computeNodes(Node n) {
+  if (n == null) { }
+  else {
+    n.value = n.value - weigh(n.fromList);
+    computeNodes(n.nextNode)
+  }
+}
+
+int sumValues(Node n) {
+  if (n == null) { 0 } else { n.value % 100003 + sumValues(n.nextNode) }
+}
+
+int em3d(int n) {
+  Node eNodes = makeNodes(n, 11);
+  Node hNodes = makeNodes(n, 23);
+  wire(eNodes, hNodes, 3, 5);
+  wire(hNodes, eNodes, 3, 9);
+  int iter = 0;
+  while (iter < 4) {
+    computeNodes(eNodes);
+    computeNodes(hNodes);
+    iter = iter + 1;
+  }
+  sumValues(eNodes) + sumValues(hNodes)
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# health -- hierarchical health-care simulation (mutual Village/VillageList)
+# ---------------------------------------------------------------------------
+
+HEALTH = """
+// Columbia health-care simulation: a quad-tree of villages, each with a
+// hospital queue of patients.
+class Patient extends Object {
+  int id;
+  int time;
+  int hops;
+  Patient next;
+}
+
+class Village extends Object {
+  int id;
+  int seed;
+  Patient waiting;
+  VillageList kids;
+}
+
+class VillageList extends Object {
+  Village item;
+  VillageList rest;
+}
+
+Village buildVillages(int level, int id) {
+  if (level == 0) { (Village) null }
+  else {
+    VillageList kids = (VillageList) null;
+    int k = 0;
+    while (k < 4) {
+      Village kid = buildVillages(level - 1, id * 4 + k + 1);
+      if (kid != null) { kids = new VillageList(kid, kids); } else { }
+      k = k + 1;
+    }
+    new Village(id, id * 37 + 11, (Patient) null, kids)
+  }
+}
+
+int rand(int seed) {
+  int v = (seed * 16807) % 2147483647;
+  if (v < 0) { 0 - v } else { v }
+}
+
+Patient takeSick(Village v, int tick) {
+  // with probability ~1/3 a new patient appears at this village
+  int r = rand(v.seed + tick);
+  v.seed = r;
+  if (r % 3 == 0) { new Patient(r % 10007, tick, 0, (Patient) null) }
+  else { (Patient) null }
+}
+
+Patient appendPatients(Patient a, Patient b) {
+  if (a == null) { b } else { new Patient(a.id, a.time, a.hops, appendPatients(a.next, b)) }
+}
+
+Patient bumpHops(Patient p) {
+  if (p == null) { (Patient) null }
+  else { new Patient(p.id, p.time, p.hops + 1, bumpHops(p.next)) }
+}
+
+Patient treatSome(Village v, Patient queue) {
+  // treat the head of the queue locally; the rest move upwards
+  if (queue == null) { (Patient) null }
+  else { bumpHops(queue.next) }
+}
+
+Patient simulate(Village v, int tick) {
+  if (v == null) { (Patient) null }
+  else {
+    Patient up = (Patient) null;
+    VillageList k = v.kids;
+    while (k != null) {
+      up = appendPatients(simulate(k.item, tick), up);
+      k = k.rest;
+    }
+    Patient sick = takeSick(v, tick);
+    if (sick != null) { up = new Patient(sick.id, sick.time, sick.hops, up); } else { }
+    v.waiting = appendPatients(up, v.waiting);
+    Patient escalated = treatSome(v, v.waiting);
+    v.waiting = (Patient) null;
+    escalated
+  }
+}
+
+int countPatients(Patient p) {
+  if (p == null) { 0 } else { 1 + countPatients(p.next) }
+}
+
+int health(int levels) {
+  Village top = buildVillages(levels, 1);
+  int tick = 0;
+  int total = 0;
+  while (tick < 6) {
+    total = total + countPatients(simulate(top, tick));
+    tick = tick + 1;
+  }
+  total
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# mst -- minimum spanning tree over an adjacency-list graph
+# ---------------------------------------------------------------------------
+
+MST = """
+// Bentley's MST: vertices with adjacency lists (mutual Vertex/EdgeList),
+// Prim's algorithm with linear scans.
+class Vertex extends Object {
+  int id;
+  int key;
+  int inTree;
+  EdgeList adj;
+  Vertex nextV;
+}
+
+class EdgeList extends Object {
+  Vertex dest;
+  int weight;
+  EdgeList rest;
+}
+
+Vertex makeVertices(int n) {
+  if (n == 0) { (Vertex) null }
+  else { new Vertex(n, 2147483647, 0, (EdgeList) null, makeVertices(n - 1)) }
+}
+
+Vertex nthVertex(Vertex first, int i) {
+  if (i == 0) { first } else { nthVertex(first.nextV, i - 1) }
+}
+
+int hashWeight(int a, int b) {
+  int v = (a * 31 + b) * 16807 % 2147483647;
+  if (v < 0) { v = 0 - v; } else { }
+  v % 1000 + 1
+}
+
+void addEdges(Vertex all, Vertex v, int n, int degree) {
+  if (v == null) { }
+  else {
+    int k = 0;
+    while (k < degree) {
+      int j = hashWeight(v.id, k) % n;
+      Vertex other = nthVertex(all, j);
+      if (other != v) {
+        int w = hashWeight(v.id, other.id);
+        v.adj = new EdgeList(other, w, v.adj);
+        other.adj = new EdgeList(v, w, other.adj);
+      } else { }
+      k = k + 1;
+    }
+    addEdges(all, v.nextV, n, degree)
+  }
+}
+
+Vertex minOutside(Vertex v, Vertex best) {
+  // linear scan for the fringe vertex with the smallest key
+  if (v == null) { best }
+  else {
+    Vertex b = best;
+    if (v.inTree == 0) {
+      if (b == null) { b = v; }
+      else {
+        if (v.key < b.key) { b = v; } else { }
+      }
+    } else { }
+    minOutside(v.nextV, b)
+  }
+}
+
+void relax(EdgeList es, Vertex picked) {
+  if (es == null) { }
+  else {
+    if (es.dest.inTree == 0 && es.weight < es.dest.key) {
+      es.dest.key = es.weight;
+    } else { }
+    relax(es.rest, picked)
+  }
+}
+
+int prim(Vertex all) {
+  Vertex start = all;
+  start.key = 0;
+  int total = 0;
+  Vertex pick = minOutside(all, (Vertex) null);
+  while (pick != null) {
+    pick.inTree = 1;
+    if (pick.key < 2147483647) { total = total + pick.key; } else { }
+    relax(pick.adj, pick);
+    pick = minOutside(all, (Vertex) null);
+  }
+  total
+}
+
+int mst(int n) {
+  Vertex graph = makeVertices(n);
+  addEdges(graph, graph, n, 3);
+  prim(graph)
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# power -- hierarchical power-system optimisation
+# ---------------------------------------------------------------------------
+
+POWER = """
+// Power-system pricing: a four-level hierarchy (root, laterals, branches,
+// leaves) with bottom-up demand aggregation, integer fixed-point.
+class Leaf extends Object {
+  int demand;
+  Leaf nextLeaf;
+}
+
+class Branch extends Object {
+  int resistance;
+  Leaf leaves;
+  Branch nextBranch;
+}
+
+class Lateral extends Object {
+  int resistance;
+  Branch branches;
+  Lateral nextLateral;
+}
+
+class Root extends Object {
+  int supply;
+  Lateral laterals;
+}
+
+Leaf makeLeaves(int n, int seed) {
+  if (n == 0) { (Leaf) null }
+  else { new Leaf((seed * 7 + n * 13) % 50 + 1, makeLeaves(n - 1, seed + 1)) }
+}
+
+Branch makeBranches(int n, int seed) {
+  if (n == 0) { (Branch) null }
+  else { new Branch((seed % 9) + 1, makeLeaves(5, seed), makeBranches(n - 1, seed + 3)) }
+}
+
+Lateral makeLaterals(int n, int seed) {
+  if (n == 0) { (Lateral) null }
+  else { new Lateral((seed % 5) + 1, makeBranches(n, seed), makeLaterals(n - 1, seed + 7)) }
+}
+
+int leafDemand(Leaf l) {
+  if (l == null) { 0 } else { l.demand + leafDemand(l.nextLeaf) }
+}
+
+int branchDemand(Branch b) {
+  if (b == null) { 0 }
+  else {
+    int d = leafDemand(b.leaves);
+    d + d * b.resistance / 100 + branchDemand(b.nextBranch)
+  }
+}
+
+int lateralDemand(Lateral l) {
+  if (l == null) { 0 }
+  else {
+    int d = branchDemand(l.branches);
+    d + d * l.resistance / 100 + lateralDemand(l.nextLateral)
+  }
+}
+
+void scaleLeaves(Leaf l, int price) {
+  if (l == null) { }
+  else {
+    l.demand = l.demand * 100 / (100 + price);
+    scaleLeaves(l.nextLeaf, price)
+  }
+}
+
+void scaleBranches(Branch b, int price) {
+  if (b == null) { }
+  else {
+    scaleLeaves(b.leaves, price + b.resistance);
+    scaleBranches(b.nextBranch, price)
+  }
+}
+
+void scaleLaterals(Lateral l, int price) {
+  if (l == null) { }
+  else {
+    scaleBranches(l.branches, price + l.resistance);
+    scaleLaterals(l.nextLateral, price)
+  }
+}
+
+int power(int n) {
+  Root root = new Root(10000, makeLaterals(n, 3));
+  int iter = 0;
+  int demand = lateralDemand(root.laterals);
+  while (iter < 5 && (demand > root.supply + 50 || root.supply > demand + 50)) {
+    int price = 0;
+    if (demand > root.supply) { price = (demand - root.supply) * 100 / root.supply; }
+    else { price = 0 - ((root.supply - demand) * 50 / root.supply); }
+    scaleLaterals(root.laterals, price);
+    demand = lateralDemand(root.laterals);
+    iter = iter + 1;
+  }
+  demand
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# tsp -- closest-point heuristic tour over a binary tree of cities
+# ---------------------------------------------------------------------------
+
+TSP = """
+// Travelling salesman: cities in a balanced binary tree; tours are
+// circular doubly linked lists merged bottom-up.
+class City extends Object {
+  int x;
+  int y;
+  City nextTour;
+  City left;
+  City right;
+}
+
+int rnd(int seed) {
+  int v = (seed * 48271) % 2147483647;
+  if (v < 0) { 0 - v } else { v }
+}
+
+City buildCities(int depth, int seed, int lo, int hi) {
+  if (depth == 0) { (City) null }
+  else {
+    int mid = (lo + hi) / 2;
+    City c = new City(mid, rnd(seed) % 1000, (City) null,
+                      buildCities(depth - 1, rnd(seed), lo, mid),
+                      buildCities(depth - 1, rnd(rnd(seed)), mid, hi));
+    c
+  }
+}
+
+int dist2(City a, City b) {
+  (a.x - b.x) * (a.x - b.x) + (a.y - b.y) * (a.y - b.y)
+}
+
+City lastOf(City start) {
+  City cur = start;
+  while (cur.nextTour != null && cur.nextTour != start) {
+    cur = cur.nextTour;
+  }
+  cur
+}
+
+City concatTours(City a, City b) {
+  if (a == null) { b }
+  else {
+    if (b == null) { a }
+    else {
+      City la = lastOf(a);
+      la.nextTour = b;
+      a
+    }
+  }
+}
+
+City makeTour(City t) {
+  // in-order: left tour ++ node ++ right tour
+  if (t == null) { (City) null }
+  else {
+    City lt = makeTour(t.left);
+    City rt = makeTour(t.right);
+    t.nextTour = rt;
+    concatTours(lt, t)
+  }
+}
+
+int tourLength(City start) {
+  if (start == null) { 0 }
+  else {
+    int total = 0;
+    City cur = start;
+    while (cur.nextTour != null) {
+      total = total + dist2(cur, cur.nextTour);
+      cur = cur.nextTour;
+    }
+    total + dist2(cur, start)
+  }
+}
+
+int tsp(int depth) {
+  City cities = buildCities(depth, 17, 0, 4096);
+  City tour = makeTour(cities);
+  tourLength(tour)
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# perimeter -- quadtree perimeter computation
+# ---------------------------------------------------------------------------
+
+PERIMETER = """
+// Perimeter of a black/white image stored as a region quadtree.
+// colour: 0 = white, 1 = black, 2 = grey (internal node).
+class Quad extends Object {
+  int colour;
+  int size;
+  Quad nw;
+  Quad ne;
+  Quad sw;
+  Quad se;
+}
+
+Quad whiteLeaf(int size) { new Quad(0, size, (Quad) null, (Quad) null, (Quad) null, (Quad) null) }
+Quad blackLeaf(int size) { new Quad(1, size, (Quad) null, (Quad) null, (Quad) null, (Quad) null) }
+
+Quad buildImage(int depth, int size, int cx, int cy) {
+  // a disc-like image: black where cx*cx + cy*cy small
+  if (depth == 0) {
+    if (cx * cx + cy * cy < 1000) { blackLeaf(size) } else { whiteLeaf(size) }
+  } else {
+    int h = size / 2;
+    Quad a = buildImage(depth - 1, h, cx - h, cy - h);
+    Quad b = buildImage(depth - 1, h, cx + h, cy - h);
+    Quad c = buildImage(depth - 1, h, cx - h, cy + h);
+    Quad d = buildImage(depth - 1, h, cx + h, cy + h);
+    if (a.colour == b.colour && b.colour == c.colour && c.colour == d.colour && a.colour != 2) {
+      if (a.colour == 1) { blackLeaf(size) } else { whiteLeaf(size) }
+    } else {
+      new Quad(2, size, a, b, c, d)
+    }
+  }
+}
+
+int countBlackEdge(Quad q) {
+  // contribution of black leaves along one side (approximation of the
+  // Samet adjacency walk, preserving the traversal structure)
+  if (q == null) { 0 }
+  else {
+    if (q.colour == 1) { q.size }
+    else {
+      if (q.colour == 0) { 0 }
+      else { countBlackEdge(q.nw) + countBlackEdge(q.ne) }
+    }
+  }
+}
+
+int perimeterOf(Quad q) {
+  if (q == null) { 0 }
+  else {
+    if (q.colour == 1) { 4 * q.size }
+    else {
+      if (q.colour == 0) { 0 }
+      else {
+        perimeterOf(q.nw) + perimeterOf(q.ne) + perimeterOf(q.sw) + perimeterOf(q.se)
+        - 2 * (countBlackEdge(q.nw) + countBlackEdge(q.sw))
+      }
+    }
+  }
+}
+
+int pow2(int k) {
+  if (k == 0) { 1 } else { 2 * pow2(k - 1) }
+}
+
+int perimeter(int depth) {
+  Quad image = buildImage(depth, pow2(depth + 2), 8, 8);
+  perimeterOf(image)
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# n-body -- Barnes-Hut style force computation (quadtree, integer math)
+# ---------------------------------------------------------------------------
+
+NBODY = """
+// Barnes-Hut n-body: bodies in a list, a quadtree of mass centres,
+// force accumulation with integer arithmetic.
+class Body extends Object {
+  int x;
+  int y;
+  int mass;
+  int fx;
+  int fy;
+  Body nextBody;
+}
+
+class Cell extends Object {
+  int cx;
+  int cy;
+  int mass;
+  int half;
+  Cell q0;
+  Cell q1;
+  Cell q2;
+  Cell q3;
+  Body body;
+}
+
+int rnd3(int seed) {
+  int v = (seed * 16807) % 2147483647;
+  if (v < 0) { 0 - v } else { v }
+}
+
+Body makeBodies(int n, int seed) {
+  if (n == 0) { (Body) null }
+  else {
+    int s1 = rnd3(seed);
+    int s2 = rnd3(s1);
+    new Body(s1 % 1024, s2 % 1024, (s2 % 9) + 1, 0, 0, makeBodies(n - 1, s2))
+  }
+}
+
+Cell emptyCell(int cx, int cy, int half) {
+  new Cell(cx, cy, 0, half, (Cell) null, (Cell) null, (Cell) null, (Cell) null, (Body) null)
+}
+
+void insert(Cell c, Body b) {
+  c.mass = c.mass + b.mass;
+  if (c.half < 8) {
+    // small enough: bucket the body here (chain via nextBody is owned by
+    // the caller's list, so just remember one representative)
+    if (c.body == null) { c.body = b; } else { }
+  } else {
+    int h = c.half / 2;
+    if (b.x < c.cx) {
+      if (b.y < c.cy) {
+        if (c.q0 == null) { c.q0 = emptyCell(c.cx - h, c.cy - h, h); } else { }
+        insert(c.q0, b)
+      } else {
+        if (c.q1 == null) { c.q1 = emptyCell(c.cx - h, c.cy + h, h); } else { }
+        insert(c.q1, b)
+      }
+    } else {
+      if (b.y < c.cy) {
+        if (c.q2 == null) { c.q2 = emptyCell(c.cx + h, c.cy - h, h); } else { }
+        insert(c.q2, b)
+      } else {
+        if (c.q3 == null) { c.q3 = emptyCell(c.cx + h, c.cy + h, h); } else { }
+        insert(c.q3, b)
+      }
+    }
+  }
+}
+
+Cell buildTree(Body bodies) {
+  Cell root = emptyCell(512, 512, 512);
+  Body b = bodies;
+  while (b != null) {
+    insert(root, b);
+    b = b.nextBody;
+  }
+  root
+}
+
+int forceFrom(Cell c, Body b) {
+  if (c == null) { 0 }
+  else {
+    int dx = c.cx - b.x;
+    int dy = c.cy - b.y;
+    int d2 = dx * dx + dy * dy + 1;
+    if (c.half < 8 || d2 > c.half * c.half * 16) {
+      c.mass * 1024 / d2
+    } else {
+      forceFrom(c.q0, b) + forceFrom(c.q1, b) + forceFrom(c.q2, b) + forceFrom(c.q3, b)
+    }
+  }
+}
+
+void computeForces(Cell root, Body b) {
+  if (b == null) { }
+  else {
+    b.fx = forceFrom(root, b);
+    b.fy = b.fx / 2;
+    computeForces(root, b.nextBody)
+  }
+}
+
+int totalForce(Body b) {
+  if (b == null) { 0 } else { (b.fx + b.fy) % 100003 + totalForce(b.nextBody) }
+}
+
+int nbody(int n) {
+  Body bodies = makeBodies(n, 42);
+  int step = 0;
+  int result = 0;
+  while (step < 3) {
+    Cell root = buildTree(bodies);
+    computeForces(root, bodies);
+    result = (result + totalForce(bodies)) % 100003;
+    step = step + 1;
+  }
+  result
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# voronoi -- divide-and-conquer Delaunay-style edge construction
+# ---------------------------------------------------------------------------
+
+VORONOI = """
+// Voronoi/Delaunay skeleton: points sorted in a tree, divide-and-conquer
+// stitching of edge rings (structure preserved, geometry simplified).
+class Point extends Object {
+  int x;
+  int y;
+  Point nextP;
+}
+
+class Edge extends Object {
+  Point orig;
+  Point dest;
+  Edge onext;
+  Edge sym;
+}
+
+int vrnd(int seed) {
+  int v = (seed * 48271) % 2147483647;
+  if (v < 0) { 0 - v } else { v }
+}
+
+Point makePoints(int n, int seed) {
+  if (n == 0) { (Point) null }
+  else {
+    int s1 = vrnd(seed);
+    int s2 = vrnd(s1);
+    new Point(s1 % 10000, s2 % 10000, makePoints(n - 1, s2))
+  }
+}
+
+Point splitAlternate(Point ps) {
+  // returns the odd-indexed elements; even ones stay linked from ps
+  if (ps == null) { (Point) null }
+  else {
+    if (ps.nextP == null) { (Point) null }
+    else {
+      Point odd = ps.nextP;
+      ps.nextP = odd.nextP;
+      odd.nextP = splitAlternate(ps.nextP);
+      odd
+    }
+  }
+}
+
+Edge makeEdge(Point a, Point b) {
+  Edge e = new Edge(a, b, (Edge) null, (Edge) null);
+  Edge s = new Edge(b, a, (Edge) null, e);
+  e.sym = s;
+  e.onext = e;
+  s.onext = s;
+  e
+}
+
+void splice(Edge a, Edge b) {
+  Edge tmp = a.onext;
+  a.onext = b.onext;
+  b.onext = tmp;
+}
+
+int ccw(Point a, Point b, Point c) {
+  int v = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  if (v > 0) { 1 } else { 0 }
+}
+
+Edge delaunay(Point ps, int n) {
+  if (ps == null) { (Edge) null }
+  else {
+    if (n <= 1) { (Edge) null }
+    else {
+      if (n == 2) { makeEdge(ps, ps.nextP) }
+      else {
+        Point right = splitAlternate(ps);
+        Edge le = delaunay(ps, (n + 1) / 2);
+        Edge re = delaunay(right, n / 2);
+        if (le == null) { re }
+        else {
+          if (re == null) { le }
+          else {
+            // simplified stitch: connect the two half-hulls with one edge
+            Edge base = makeEdge(le.orig, re.orig);
+            splice(base, le);
+            splice(base.sym, re);
+            if (ccw(le.orig, re.orig, re.dest) == 1) { base } else { le }
+          }
+        }
+      }
+    }
+  }
+}
+
+int countRing(Edge e, Edge stop, int fuel) {
+  if (e == null || fuel == 0) { 0 }
+  else {
+    if (e == stop) { 0 }
+    else { 1 + countRing(e.onext, stop, fuel - 1) }
+  }
+}
+
+int edgeMeasure(Edge e) {
+  if (e == null) { 0 }
+  else {
+    (e.orig.x - e.dest.x) * (e.orig.x - e.dest.x)
+    + (e.orig.y - e.dest.y) * (e.orig.y - e.dest.y)
+    + countRing(e.onext, e, 16)
+  }
+}
+
+int voronoi(int n) {
+  Point ps = makePoints(n, 31);
+  Edge e = delaunay(ps, n);
+  edgeMeasure(e)
+}
+"""
+
+
+OLDEN_PROGRAMS: Dict[str, OldenProgram] = {
+    p.name: p
+    for p in [
+        OldenProgram("bisort", BISORT, "bisort", (8,), (4,), OldenPaperRow(340, 7, 0.14)),
+        OldenProgram("em3d", EM3D, "em3d", (24,), (8,), OldenPaperRow(462, 32, 0.61)),
+        OldenProgram("health", HEALTH, "health", (4,), (2,), OldenPaperRow(562, 24, 3.58)),
+        OldenProgram("mst", MST, "mst", (24,), (8,), OldenPaperRow(473, 34, 0.48)),
+        OldenProgram("power", POWER, "power", (6,), (3,), OldenPaperRow(765, 35, 0.4)),
+        OldenProgram("treeadd", TREEADD, "treeadd", (10,), (4,), OldenPaperRow(195, 7, 0.07)),
+        OldenProgram("tsp", TSP, "tsp", (6,), (3,), OldenPaperRow(545, 12, 0.28)),
+        OldenProgram(
+            "perimeter", PERIMETER, "perimeter", (6,), (3,), OldenPaperRow(745, 21, 1.38)
+        ),
+        OldenProgram("n-body", NBODY, "nbody", (24,), (8,), OldenPaperRow(1128, 38, 2.88)),
+        OldenProgram("voronoi", VORONOI, "voronoi", (24,), (8,), OldenPaperRow(1000, 50, 4.63)),
+    ]
+}
+
+
+def olden_program(name: str) -> OldenProgram:
+    """Look up an Olden benchmark by name."""
+    try:
+        return OLDEN_PROGRAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown Olden benchmark {name!r}; available: {sorted(OLDEN_PROGRAMS)}"
+        ) from None

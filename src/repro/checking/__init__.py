@@ -1,0 +1,20 @@
+"""The region type checking system and region erasure (paper Sec 4.5)."""
+
+from .erasure import erase_expr, erase_method, erase_program, erase_type
+from .region_check import (
+    CheckReport,
+    RegionCheckError,
+    RegionTypeChecker,
+    check_target,
+)
+
+__all__ = [
+    "CheckReport",
+    "RegionCheckError",
+    "RegionTypeChecker",
+    "check_target",
+    "erase_expr",
+    "erase_method",
+    "erase_program",
+    "erase_type",
+]

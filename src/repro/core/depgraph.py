@@ -1,0 +1,262 @@
+"""The global dependency graph (paper Sec 4.3).
+
+Region inference processes classes and methods bottom-up over a dependency
+graph whose strongly connected components become the units of fixed-point
+analysis.  The paper's five dependency kinds map onto our edges as follows
+(``a -> b`` meaning *a depends on b*, so b is processed first):
+
+* ``cn1 < cn2`` (component / superclass)  -- handled separately by the
+  class annotation ordering in :mod:`repro.core.schemes`;
+* ``mn1 < cn2`` (method uses class)       -- ``method -> classinv`` edges;
+* ``mn1 < mn2`` (method calls method)     -- ``caller -> callee`` edges;
+* ``cn'.mn < cn.mn`` (override check)     -- the *superclass* method's
+  finalisation depends on the subclass method's inferred precondition, so
+  ``super_method -> sub_method``;
+* ``cn' < cn.mn`` (override check)        -- the subclass's invariant may be
+  strengthened by override resolution, so ``classinv(sub) -> methods``.
+
+Method SCCs are mutually recursive nests solved together; ``classinv``
+nodes are ordering markers only.  A method never takes a ``classinv`` edge
+on its own class or superclasses (that would make every class trivially
+cyclic with its methods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..lang import ast as S
+from ..lang.class_table import OBJECT_NAME, ClassTable
+
+__all__ = ["Node", "method_node", "classinv_node", "DependencyGraph"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A graph node: ``("method", qualified)`` or ``("classinv", cn)``."""
+
+    kind: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.name}"
+
+
+def method_node(qualified: str) -> Node:
+    return Node("method", qualified)
+
+
+def classinv_node(cn: str) -> Node:
+    return Node("classinv", cn)
+
+
+class DependencyGraph:
+    """Builds and orders the method/classinv dependency graph."""
+
+    def __init__(self, program: S.Program, table: ClassTable):
+        self.program = program
+        self.table = table
+        self.edges: Dict[Node, Set[Node]] = {}
+        self._methods: Dict[str, S.MethodDecl] = {}
+        self._build()
+
+    # -- building ----------------------------------------------------------------
+    def _add_edge(self, a: Node, b: Node) -> None:
+        if a != b:
+            self.edges.setdefault(a, set()).add(b)
+        self.edges.setdefault(b, set())
+
+    def _ensure(self, n: Node) -> None:
+        self.edges.setdefault(n, set())
+
+    def _build(self) -> None:
+        for cn in self.table.class_names():
+            self._ensure(classinv_node(cn))
+        for method in self.program.all_methods():
+            self._methods[method.qualified_name] = method
+            self._ensure(method_node(method.qualified_name))
+
+        for method in self.program.all_methods():
+            self._add_method_edges(method)
+
+        # override-induced dependencies
+        for sub_cn, sup_cn, mn in self.table.override_pairs():
+            self._add_edge(
+                method_node(f"{sup_cn}.{mn}"), method_node(f"{sub_cn}.{mn}")
+            )
+            self._add_edge(classinv_node(sub_cn), method_node(f"{sub_cn}.{mn}"))
+            self._add_edge(classinv_node(sub_cn), method_node(f"{sup_cn}.{mn}"))
+
+        # classinv ordering follows the hierarchy
+        for cn in self.table.class_names():
+            sup = self.table.superclass(cn)
+            if sup is not None and sup != OBJECT_NAME:
+                self._add_edge(classinv_node(cn), classinv_node(sup))
+
+    def _add_method_edges(self, method: S.MethodDecl) -> None:
+        me = method_node(method.qualified_name)
+        owner_line = (
+            set(self.table.ancestors(method.owner)) if method.owner else set()
+        )
+
+        def uses_class(cn: str) -> None:
+            if cn != OBJECT_NAME and self.table.has_class(cn) and cn not in owner_line:
+                self._add_edge(me, classinv_node(cn))
+
+        for p in method.params:
+            if isinstance(p.param_type, S.ClassType):
+                uses_class(p.param_type.name)
+        if isinstance(method.ret_type, S.ClassType):
+            uses_class(method.ret_type.name)
+
+        # walk the body for calls, news, casts and local decl types
+        def visit(e: S.Expr, env: Dict[str, str]) -> None:
+            if isinstance(e, S.New):
+                uses_class(e.class_name)
+            elif isinstance(e, S.Cast):
+                uses_class(e.class_name)
+            elif isinstance(e, S.Null) and e.class_name:
+                uses_class(e.class_name)
+            elif isinstance(e, S.Call):
+                callee = self._resolve_call(e, method, env)
+                if callee is not None:
+                    self._add_edge(me, method_node(callee))
+            elif isinstance(e, S.Block):
+                inner = dict(env)
+                for s in e.stmts:
+                    if isinstance(s, S.LocalDecl):
+                        if isinstance(s.decl_type, S.ClassType):
+                            uses_class(s.decl_type.name)
+                            if s.init is not None:
+                                visit(s.init, inner)
+                            inner[s.name] = s.decl_type.name
+                        elif s.init is not None:
+                            visit(s.init, inner)
+                    else:
+                        assert isinstance(s, S.ExprStmt)
+                        visit(s.expr, inner)
+                if e.result is not None:
+                    visit(e.result, inner)
+                return
+            for child in e.children():
+                visit(child, env)
+
+        env: Dict[str, str] = {}
+        if method.owner is not None:
+            env[S.THIS] = method.owner
+        for p in method.params:
+            if isinstance(p.param_type, S.ClassType):
+                env[p.name] = p.param_type.name
+        visit(method.body, env)
+
+    def _static_type_of(
+        self, e: S.Expr, method: S.MethodDecl, env: Dict[str, str]
+    ) -> Optional[str]:
+        """Best-effort static class of ``e`` for call resolution."""
+        if isinstance(e, S.Var):
+            return env.get(e.name)
+        if isinstance(e, S.New):
+            return e.class_name
+        if isinstance(e, S.Cast):
+            return e.class_name
+        if isinstance(e, S.Null):
+            return e.class_name
+        if isinstance(e, S.FieldRead):
+            recv = self._static_type_of(e.receiver, method, env)
+            if recv is None:
+                return None
+            found = self.table.lookup_field(recv, e.field_name)
+            if found and isinstance(found[0].field_type, S.ClassType):
+                return found[0].field_type.name
+            return None
+        if isinstance(e, S.Call):
+            callee = self._resolve_call(e, method, env)
+            if callee is None:
+                return None
+            decl = self._methods.get(callee)
+            if decl and isinstance(decl.ret_type, S.ClassType):
+                return decl.ret_type.name
+            return None
+        if isinstance(e, S.If):
+            t = self._static_type_of(e.then, method, env)
+            return t if t is not None else self._static_type_of(e.els, method, env)
+        if isinstance(e, S.Block) and e.result is not None:
+            # approximate: ignore local decls (sound for dependency edges)
+            return self._static_type_of(e.result, method, env)
+        return None
+
+    def _resolve_call(
+        self, e: S.Call, method: S.MethodDecl, env: Dict[str, str]
+    ) -> Optional[str]:
+        if e.receiver is None:
+            decl = self.table.lookup_static(e.method_name)
+            return decl.qualified_name if decl else None
+        recv = self._static_type_of(e.receiver, method, env)
+        if recv is None:
+            return None
+        found = self.table.lookup_method(recv, e.method_name)
+        if found is None:
+            return None
+        return f"{found[1]}.{found[0].name}"
+
+    # -- ordering --------------------------------------------------------------------
+    def sccs(self) -> List[List[Node]]:
+        """SCCs in reverse-topological (dependencies-first) order."""
+        index: Dict[Node, int] = {}
+        low: Dict[Node, int] = {}
+        on_stack: Set[Node] = set()
+        stack: List[Node] = []
+        out: List[List[Node]] = []
+        counter = [0]
+        nodes = sorted(self.edges, key=str)
+
+        for start in nodes:
+            if start in index:
+                continue
+            work: List[Tuple[Node, List[Node], int]] = [
+                (start, sorted(self.edges[start], key=str), 0)
+            ]
+            index[start] = low[start] = counter[0]
+            counter[0] += 1
+            stack.append(start)
+            on_stack.add(start)
+            while work:
+                node, children, i = work[-1]
+                if i < len(children):
+                    work[-1] = (node, children, i + 1)
+                    child = children[i]
+                    if child not in index:
+                        index[child] = low[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, sorted(self.edges[child], key=str), 0))
+                    elif child in on_stack:
+                        low[node] = min(low[node], index[child])
+                    continue
+                work.pop()
+                if work:
+                    low[work[-1][0]] = min(low[work[-1][0]], low[node])
+                if low[node] == index[node]:
+                    scc: List[Node] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member == node:
+                            break
+                    out.append(scc)
+        # Tarjan emits SCCs in reverse topological order of the condensation
+        # *with edges pointing at dependencies*, which is exactly
+        # dependencies-first.
+        return out
+
+    def method_sccs(self) -> List[List[str]]:
+        """The method groups (qualified names) in processing order."""
+        groups: List[List[str]] = []
+        for scc in self.sccs():
+            methods = [n.name for n in scc if n.kind == "method"]
+            if methods:
+                groups.append(sorted(methods))
+        return groups

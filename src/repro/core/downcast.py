@@ -1,0 +1,376 @@
+"""Downcast safety analysis (paper Sec 5).
+
+Upcasting to a superclass type drops the subclass-only region parameters;
+a later downcast cannot recover them.  The paper offers two remedies:
+
+* **first-region technique** -- at every upcast, equate the lost regions
+  with the object's first region; a downcast then re-materialises them as
+  that first region.  Simple and modular, but loses lifetime precision.
+
+* **region padding** -- a *global backward-flow analysis* finds, for every
+  variable and allocation site, the set of classes it may be downcast to;
+  those sites are padded with enough extra regions to remember the lost
+  ones, and downcasts read them back.  Sites whose class is unrelated to
+  every possible downcast target (the paper's ``le`` example) are left
+  unpadded -- any downcast through them fails at runtime anyway.
+
+This module implements the flow analysis (flow gathering, backward-flow
+closure, downcast-set closure) and the padding plan; the inference engine
+(:mod:`repro.core.infer`) consumes the plan.  Strategy selection:
+
+* ``DowncastStrategy.PADDING``       (default; Sec 5's preferred technique)
+* ``DowncastStrategy.FIRST_REGION``
+* ``DowncastStrategy.REJECT``        (refuse programs with downcasts)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..lang import ast as S
+from ..lang.class_table import OBJECT_NAME, ClassTable
+
+__all__ = [
+    "DowncastStrategy",
+    "FlowSource",
+    "DowncastAnalysis",
+    "PaddingPlan",
+    "analyse_downcasts",
+]
+
+
+class DowncastStrategy(enum.Enum):
+    """How lost regions are preserved across upcasts (Sec 5)."""
+
+    PADDING = "padding"
+    FIRST_REGION = "first-region"
+    REJECT = "reject"
+
+
+#: A flow node: a variable in a method ("var", method_qualified, name),
+#: a field slot ("field", class, field), an allocation site ("new", label),
+#: or a method's result ("ret", method_qualified).
+FlowSource = Tuple[str, str, str]
+
+
+def _var(method: str, name: str) -> FlowSource:
+    return ("var", method, name)
+
+
+def _field_slot(cn: str, fname: str) -> FlowSource:
+    return ("field", cn, fname)
+
+
+def _site(label: str) -> FlowSource:
+    return ("new", label, "")
+
+
+def _ret(method: str) -> FlowSource:
+    return ("ret", method, "")
+
+
+@dataclass
+class PaddingPlan:
+    """Where padding regions go and how many.
+
+    ``pad_counts`` maps flow nodes (variables and allocation sites) to the
+    number of extra regions they need; ``downcast_sets`` records the class
+    sets driving those counts; ``doomed_sites`` are allocation sites whose
+    class is unrelated to every downcast target (padding skipped -- any
+    downcast of such an object fails).
+    """
+
+    pad_counts: Dict[FlowSource, int] = field(default_factory=dict)
+    downcast_sets: Dict[FlowSource, FrozenSet[str]] = field(default_factory=dict)
+    doomed_sites: Set[str] = field(default_factory=set)
+
+    def pads_for_var(self, method: str, name: str) -> int:
+        return self.pad_counts.get(_var(method, name), 0)
+
+    def pads_for_site(self, label: str) -> int:
+        return self.pad_counts.get(_site(label), 0)
+
+    def pads_for_field(self, cn: str, fname: str) -> int:
+        return self.pad_counts.get(_field_slot(cn, fname), 0)
+
+
+class DowncastAnalysis:
+    """The backward flow analysis of Sec 5.
+
+    Collects flows ``dst <- src`` ("dst may capture a value from src") and
+    downcast marks ``dst <-D src`` for every ``dst = (D) src``-shaped
+    capture; closes the flow relation backwards and propagates downcast
+    sets to all transitive sources.
+    """
+
+    def __init__(self, program: S.Program, table: ClassTable):
+        self.program = program
+        self.table = table
+        #: reverse flow edges: src -> {dst that capture from src}
+        self.captures_from: Dict[FlowSource, Set[FlowSource]] = {}
+        #: downcast marks applied directly to a node
+        self.direct_casts: Dict[FlowSource, Set[str]] = {}
+        #: static class of each node (best effort)
+        self.static_class: Dict[FlowSource, str] = {}
+        self._gather()
+
+    # -- flow gathering -----------------------------------------------------------
+    def _edge(self, dst: FlowSource, src: FlowSource) -> None:
+        self.captures_from.setdefault(src, set()).add(dst)
+        self.captures_from.setdefault(dst, set())
+
+    def _gather(self) -> None:
+        for cn in self.table.class_names():
+            for f in self.table.own_fields(cn):
+                if isinstance(f.field_type, S.ClassType):
+                    self.static_class[_field_slot(cn, f.name)] = f.field_type.name
+        for method in self.program.all_methods():
+            self._gather_method(method)
+
+    def _gather_method(self, method: S.MethodDecl) -> None:
+        qn = method.qualified_name
+        env: Dict[str, str] = {}
+        if method.owner is not None:
+            env[S.THIS] = method.owner
+            self.static_class[_var(qn, S.THIS)] = method.owner
+        for p in method.params:
+            if isinstance(p.param_type, S.ClassType):
+                env[p.name] = p.param_type.name
+                self.static_class[_var(qn, p.name)] = p.param_type.name
+        if isinstance(method.ret_type, S.ClassType):
+            self.static_class[_ret(qn)] = method.ret_type.name
+
+        def sources(e: S.Expr, env: Dict[str, str]) -> List[Tuple[FlowSource, Optional[str]]]:
+            """(flow node, downcast class) pairs a value may come from."""
+            if isinstance(e, S.Var):
+                return [(_var(qn, e.name), None)]
+            if isinstance(e, S.New):
+                self.static_class[_site(e.label)] = e.class_name
+                return [(_site(e.label), None)]
+            if isinstance(e, S.Cast):
+                inner = sources(e.expr, env)
+                cls = self._class_of(e.expr, env, qn)
+                if cls is not None and self.table.is_subclass(e.class_name, cls) and e.class_name != cls:
+                    # a true downcast: mark the sources
+                    return [(s, e.class_name) for (s, _d) in inner]
+                return inner
+            if isinstance(e, S.FieldRead):
+                recv_cls = self._class_of(e.receiver, env, qn)
+                if recv_cls is not None:
+                    found = self.table.lookup_field(recv_cls, e.field_name)
+                    if found is not None:
+                        return [(_field_slot(found[1], e.field_name), None)]
+                return []
+            if isinstance(e, S.Call):
+                callee = self._resolve_call(e, env, qn)
+                if callee is not None:
+                    return [(_ret(callee), None)]
+                return []
+            if isinstance(e, S.If):
+                return sources(e.then, env) + sources(e.els, env)
+            if isinstance(e, S.Block):
+                if e.result is not None:
+                    inner = dict(env)
+                    for s in e.stmts:
+                        if isinstance(s, S.LocalDecl) and isinstance(s.decl_type, S.ClassType):
+                            inner[s.name] = s.decl_type.name
+                    return sources(e.result, inner)
+                return []
+            return []
+
+        def flow_into(dst: FlowSource, e: S.Expr, env: Dict[str, str]) -> None:
+            for src, dcls in sources(e, env):
+                self._edge(dst, src)
+                if dcls is not None:
+                    self.direct_casts.setdefault(src, set()).add(dcls)
+
+        def visit(e: S.Expr, env: Dict[str, str]) -> None:
+            if isinstance(e, S.Assign):
+                visit(e.rhs, env)
+                if isinstance(e.lhs, S.Var):
+                    flow_into(_var(qn, e.lhs.name), e.rhs, env)
+                elif isinstance(e.lhs, S.FieldRead):
+                    visit(e.lhs.receiver, env)
+                    recv_cls = self._class_of(e.lhs.receiver, env, qn)
+                    if recv_cls is not None:
+                        found = self.table.lookup_field(recv_cls, e.lhs.field_name)
+                        if found is not None:
+                            flow_into(_field_slot(found[1], e.lhs.field_name), e.rhs, env)
+                return
+            if isinstance(e, S.New):
+                for arg, fdecl in zip(e.args, self.table.fields(e.class_name)):
+                    visit(arg, env)
+                    if isinstance(fdecl.field_type, S.ClassType):
+                        owner = self.table.lookup_field(e.class_name, fdecl.name)
+                        assert owner is not None
+                        flow_into(_field_slot(owner[1], fdecl.name), arg, env)
+                self.static_class.setdefault(_site(e.label), e.class_name)
+                return
+            if isinstance(e, S.Call):
+                callee = self._resolve_call(e, env, qn)
+                if e.receiver is not None:
+                    visit(e.receiver, env)
+                for i, arg in enumerate(e.args):
+                    visit(arg, env)
+                    if callee is not None:
+                        decl = self._method_decl(callee)
+                        if decl is not None and i < len(decl.params):
+                            p = decl.params[i]
+                            if isinstance(p.param_type, S.ClassType):
+                                flow_into(_var(callee, p.name), arg, env)
+                return
+            if isinstance(e, S.Cast):
+                # visiting for marks even when the value is unused
+                for src, dcls in sources(e, env):
+                    if dcls is not None:
+                        self.direct_casts.setdefault(src, set()).add(dcls)
+                visit(e.expr, env)
+                return
+            if isinstance(e, S.Block):
+                inner = dict(env)
+                for s in e.stmts:
+                    if isinstance(s, S.LocalDecl):
+                        if s.init is not None:
+                            visit(s.init, inner)
+                        if isinstance(s.decl_type, S.ClassType):
+                            inner[s.name] = s.decl_type.name
+                            self.static_class[_var(qn, s.name)] = s.decl_type.name
+                            if s.init is not None:
+                                flow_into(_var(qn, s.name), s.init, inner)
+                    else:
+                        assert isinstance(s, S.ExprStmt)
+                        visit(s.expr, inner)
+                if e.result is not None:
+                    visit(e.result, inner)
+                    flow_into(_ret(qn), e.result, inner)
+                return
+            for child in e.children():
+                visit(child, env)
+
+        visit(method.body, env)
+
+    # -- helpers --------------------------------------------------------------------
+    def _method_decl(self, qualified: str) -> Optional[S.MethodDecl]:
+        for m in self.program.all_methods():
+            if m.qualified_name == qualified:
+                return m
+        return None
+
+    def _class_of(self, e: S.Expr, env: Dict[str, str], qn: str) -> Optional[str]:
+        if isinstance(e, S.Var):
+            return env.get(e.name)
+        if isinstance(e, S.New):
+            return e.class_name
+        if isinstance(e, S.Cast):
+            return e.class_name
+        if isinstance(e, S.Null):
+            return e.class_name
+        if isinstance(e, S.FieldRead):
+            recv = self._class_of(e.receiver, env, qn)
+            if recv is None:
+                return None
+            found = self.table.lookup_field(recv, e.field_name)
+            if found and isinstance(found[0].field_type, S.ClassType):
+                return found[0].field_type.name
+            return None
+        if isinstance(e, S.Call):
+            callee = self._resolve_call(e, env, qn)
+            if callee is None:
+                return None
+            decl = self._method_decl(callee)
+            if decl and isinstance(decl.ret_type, S.ClassType):
+                return decl.ret_type.name
+            return None
+        if isinstance(e, S.If):
+            t = self._class_of(e.then, env, qn)
+            return t if t is not None else self._class_of(e.els, env, qn)
+        if isinstance(e, S.Block) and e.result is not None:
+            inner = dict(env)
+            for s in e.stmts:
+                if isinstance(s, S.LocalDecl) and isinstance(s.decl_type, S.ClassType):
+                    inner[s.name] = s.decl_type.name
+            return self._class_of(e.result, inner, qn)
+        return None
+
+    def _resolve_call(self, e: S.Call, env: Dict[str, str], qn: str) -> Optional[str]:
+        if e.receiver is None:
+            decl = self.table.lookup_static(e.method_name)
+            return decl.qualified_name if decl else None
+        recv = self._class_of(e.receiver, env, qn)
+        if recv is None:
+            return None
+        found = self.table.lookup_method(recv, e.method_name)
+        if found is None:
+            return None
+        return f"{found[1]}.{found[0].name}"
+
+    # -- closures --------------------------------------------------------------------
+    def downcast_sets(self) -> Dict[FlowSource, FrozenSet[str]]:
+        """Downcast sets per node after both closure steps.
+
+        A node's set contains every class that some value flowing *through*
+        it may later be downcast to.  Computed by propagating direct marks
+        backwards along the (transitively closed) flow relation:
+        ``D-set(src) >= D-set(dst)`` for every capture ``dst <- src``.
+        """
+        sets: Dict[FlowSource, Set[str]] = {
+            node: set(marks) for node, marks in self.direct_casts.items()
+        }
+        for node in self.captures_from:
+            sets.setdefault(node, set())
+        changed = True
+        while changed:
+            changed = False
+            for src, dsts in self.captures_from.items():
+                for dst in dsts:
+                    extra = sets.get(dst, set()) - sets[src]
+                    if extra:
+                        sets[src] |= extra
+                        changed = True
+        return {node: frozenset(v) for node, v in sets.items() if v}
+
+    def build_plan(self) -> PaddingPlan:
+        """The padding plan: counts, sets and doomed sites."""
+        plan = PaddingPlan()
+        for node, dset in self.downcast_sets().items():
+            cls = self.static_class.get(node)
+            if cls is None:
+                continue
+            base = self._arity(cls)
+            relevant = {d for d in dset if self.table.related(d, cls)}
+            if node[0] == "new" and not relevant:
+                # e.g. the paper's `le`: every downcast of this object fails
+                plan.doomed_sites.add(node[1])
+                continue
+            if not relevant:
+                continue
+            need = max(self._arity(d) for d in relevant) - base
+            if need > 0:
+                plan.pad_counts[node] = need
+                plan.downcast_sets[node] = frozenset(relevant)
+        return plan
+
+    def _arity(self, cn: str) -> int:
+        """Number of region parameters a class will get.
+
+        Computed structurally (1 + component slots + recursion slot) so the
+        analysis can run before class annotation.
+        """
+        if cn == OBJECT_NAME:
+            return 1
+        decl = self.table.decl(cn)
+        n = self._arity(decl.super_name)
+        nonrec, rec = self.table.split(cn)
+        for f in nonrec:
+            if isinstance(f.field_type, S.ClassType):
+                n += self._arity(f.field_type.name)
+        if rec:
+            n += 1
+        return n
+
+
+def analyse_downcasts(program: S.Program, table: ClassTable) -> PaddingPlan:
+    """Convenience wrapper: run the analysis and return the padding plan."""
+    return DowncastAnalysis(program, table).build_plan()

@@ -1,0 +1,951 @@
+"""The region inference engine (paper Sec 4, Fig 3).
+
+Given a well-normal-typed Core-Java program, :class:`RegionInference`
+produces a region-annotated target program (:class:`~repro.lang.target.TProgram`)
+that is guaranteed never to create dangling references:
+
+1. classes are annotated bottom-up with region parameters and invariants
+   (:mod:`repro.core.schemes`);
+2. methods are processed one dependency-graph SCC at a time
+   (:mod:`repro.core.depgraph`); each SCC is a (possibly mutually)
+   recursive nest whose preconditions are closed by fixed-point analysis
+   (region-polymorphic recursion, Sec 4.2.3);
+3. expression inference gathers outlives/equality constraints per Fig 3,
+   applying the configured region-subtyping mode (Sec 3.2) at every
+   value flow;
+4. the [letreg] rule localises the non-escaping regions of every block
+   into one lexically scoped region;
+5. provably-equal regions are coalesced, and every remaining region of a
+   method body is mapped onto the method's region parameters or the heap
+   (Sec 3.3);
+6. override conflicts are repaired per Sec 4.4;
+7. downcasts are secured by the configured strategy of Sec 5.
+
+The result can be independently verified by the region type checker
+(:mod:`repro.checking`), which is how the correctness theorem (Thm 1) is
+exercised in the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..frontend.parser import parse_program
+from ..lang import ast as S
+from ..lang import target as T
+from ..lang.class_table import OBJECT_NAME, ClassTable
+from ..regions.abstraction import (
+    AbstractionEnv,
+    ConstraintAbstraction,
+    inv_name,
+)
+from ..regions.constraints import (
+    Constraint,
+    HEAP,
+    NULL_REGION,
+    Outlives,
+    PredAtom,
+    Region,
+    RegionEq,
+    TRUE,
+)
+from ..regions.fixpoint import solve_recursive_abstractions
+from ..regions.solver import RegionSolver
+from ..regions.substitution import RegionSubst
+from ..typing.normal import NormalTypeChecker
+from .depgraph import DependencyGraph
+from .downcast import DowncastAnalysis, DowncastStrategy, PaddingPlan
+from .override import OverrideResolver
+from .schemes import (
+    ClassAnnotation,
+    ClassAnnotator,
+    InferenceError,
+    MethodScheme,
+)
+from .subtyping import SubtypingMode, subtype
+
+__all__ = [
+    "InferenceConfig",
+    "InferenceResult",
+    "RegionInference",
+    "infer_program",
+    "infer_source",
+]
+
+
+@dataclass
+class InferenceConfig:
+    """Tunable knobs of the inference engine.
+
+    The defaults reproduce the paper's advocated configuration: *field*
+    region subtyping, region padding for downcasts, localisation at every
+    block, and region-polymorphic recursion for methods.  The ablation
+    benchmarks flip these individually.
+    """
+
+    mode: SubtypingMode = SubtypingMode.FIELD
+    downcast: DowncastStrategy = DowncastStrategy.PADDING
+    localize_blocks: bool = True
+    polymorphic_recursion: bool = True
+    #: drop pre atoms recoverable from class invariants (display parity
+    #: with the paper's figures); never affects soundness
+    minimize_pre: bool = True
+    #: give every null literal the fictitious null region (the paper's
+    #: Sec 8 extension): nulls then impose *no* lifetime constraints at all
+    null_fictitious_regions: bool = False
+
+
+@dataclass
+class InferenceResult:
+    """The annotated program plus inference metadata."""
+
+    target: T.TProgram
+    table: ClassTable
+    annotations: Dict[str, ClassAnnotation]
+    schemes: Dict[str, MethodScheme]
+    config: InferenceConfig
+    #: wall-clock seconds spent inside :meth:`RegionInference.infer`
+    elapsed: float = 0.0
+    #: per-method count of localised (letreg-introduced) regions
+    localized_regions: Dict[str, int] = dc_field(default_factory=dict)
+    #: fixed-point iteration counts per method-SCC (keyed by sorted names)
+    fixpoint_iterations: Dict[Tuple[str, ...], int] = dc_field(default_factory=dict)
+
+    @property
+    def total_localized(self) -> int:
+        return sum(self.localized_regions.values())
+
+
+class _Ctx:
+    """Per-method inference state."""
+
+    def __init__(self, scheme: MethodScheme, scc: Set[str]):
+        self.scheme = scheme
+        self.scc = scc
+        self.constraints: List[Constraint] = []
+        self.localized = 0
+
+    def add(self, c: Constraint) -> None:
+        if not c.is_true:
+            self.constraints.append(c)
+
+    def slice_from(self, mark: int) -> List[Constraint]:
+        return self.constraints[mark:]
+
+
+class RegionInference:
+    """Runs region inference on one program.  See the module docstring."""
+
+    def __init__(self, program: S.Program, config: Optional[InferenceConfig] = None):
+        self.program = program
+        self.config = config or InferenceConfig()
+        checker = NormalTypeChecker(program)
+        self.table = checker.check()
+        self.q = AbstractionEnv()
+        self.annotator = ClassAnnotator(self.table, self.q)
+        self.annotations = self.annotator.annotate_all()
+        if self.config.downcast is DowncastStrategy.PADDING:
+            self.plan = DowncastAnalysis(program, self.table).build_plan()
+        else:
+            self.plan = PaddingPlan()
+        self.schemes: Dict[str, MethodScheme] = {}
+        for m in program.all_methods():
+            scheme = self.annotator.method_scheme(m)
+            self._pad_scheme(scheme)
+            self.schemes[m.qualified_name] = scheme
+        self._tmethods: Dict[str, T.TMethodDecl] = {}
+        self._done: Set[str] = set()
+        self._resolver = OverrideResolver(
+            self.table, self.q, self.annotations, self.schemes
+        )
+        self.result: Optional[InferenceResult] = None
+
+    def _pad_scheme(self, scheme: MethodScheme) -> None:
+        """Pad parameter/result types per the downcast plan (Sec 5).
+
+        Padding regions become additional method region parameters, so
+        call sites thread the preserved regions through the method
+        boundary.
+        """
+        if not self.plan.downcast_sets:
+            return
+        new_params: List[T.RType] = []
+        extra: List[Region] = []
+        for name, t in zip(scheme.param_names, scheme.param_types):
+            key = ("var", scheme.qualified, name)
+            if key in self.plan.downcast_sets and isinstance(t, T.RClass):
+                dset = sorted(self.plan.downcast_sets[key])
+                pads = self._pad_count(t.name, dset)
+                if pads:
+                    t = t.with_padding(Region.fresh_many(pads, hint="p"))
+                    object.__setattr__(t, "_dcast", frozenset(dset))
+                    extra.extend(t.padding)
+            new_params.append(t)
+        ret = scheme.ret_type
+        key = ("ret", scheme.qualified, "")
+        if key in self.plan.downcast_sets and isinstance(ret, T.RClass):
+            dset = sorted(self.plan.downcast_sets[key])
+            pads = self._pad_count(ret.name, dset)
+            if pads:
+                ret = ret.with_padding(Region.fresh_many(pads, hint="p"))
+                object.__setattr__(ret, "_dcast", frozenset(dset))
+                extra.extend(ret.padding)
+        if extra:
+            scheme.param_types = tuple(new_params)
+            scheme.ret_type = ret
+            scheme.region_params = scheme.region_params + tuple(extra)
+
+    # ------------------------------------------------------------------ driver
+    def infer(self) -> InferenceResult:
+        """Infer annotations for the whole program."""
+        start = time.perf_counter()
+        result = InferenceResult(
+            target=T.TProgram(q=self.q),
+            table=self.table,
+            annotations=self.annotations,
+            schemes=self.schemes,
+            config=self.config,
+        )
+        graph = DependencyGraph(self.program, self.table)
+        for scc in graph.method_sccs():
+            self._process_scc(scc, result)
+            self._resolve_ready()
+        if self.config.minimize_pre:
+            for qn in self.schemes:
+                self._minimize_pre(qn)
+        self._assemble(result.target)
+        result.elapsed = time.perf_counter() - start
+        self.result = result
+        return result
+
+    def _process_scc(self, scc: List[str], result: InferenceResult) -> None:
+        scc_set = set(scc)
+        nest: List[ConstraintAbstraction] = []
+        for qn in scc:
+            abstraction = self._infer_method(qn, scc_set, result)
+            nest.append(abstraction)
+        recursive = any(a.body.pred_atoms() for a in nest)
+        fp = solve_recursive_abstractions(nest, self.q)
+        for solved in fp.solutions.values():
+            self.q.define(solved)
+        result.fixpoint_iterations[tuple(sorted(scc))] = fp.iterations
+        if recursive:
+            # Second elaboration pass: with the preconditions now closed,
+            # recursive calls expand to plain base constraints, so the
+            # [letreg] rule can localise regions that the first pass had to
+            # protect as unknown precondition arguments (e.g. the temporary
+            # list of Reynolds3).
+            nest2 = [self._infer_method(qn, set(), result) for qn in scc]
+            fp2 = solve_recursive_abstractions(nest2, self.q)
+            for solved in fp2.solutions.values():
+                self.q.define(solved)
+        self._done.update(scc_set)
+
+    def _resolve_ready(self) -> None:
+        """Run override resolution for pairs whose methods are both done.
+
+        The dependency graph orders subclass methods before the superclass
+        method they override, so resolving as soon as the superclass method
+        completes guarantees its *callers* (processed later) see the final,
+        possibly strengthened precondition.
+        """
+        pairs = [
+            (sub, sup, mn)
+            for (sub, sup, mn) in self.table.override_pairs()
+            if f"{sub}.{mn}" in self._done and f"{sup}.{mn}" in self._done
+        ]
+        for _ in range(16):
+            changed = False
+            for sub, sup, mn in sorted(
+                pairs, key=lambda p: -len(self.table.ancestors(p[0]))
+            ):
+                changed |= self._resolver.resolve_pair(sub, sup, mn)
+            if not changed:
+                return
+        raise InferenceError("override conflict resolution did not stabilise")
+
+    # ------------------------------------------------------------ method level
+    def _hypotheses(self, scheme: MethodScheme) -> Constraint:
+        """Invariants of ``this``, the parameters and the result.
+
+        These hold at every call by construction, so they may be assumed
+        when simplifying the precondition (the paper elides them from its
+        displayed ``pre`` abstractions for the same reason).
+        """
+        hyp = TRUE
+        if scheme.owner is not None:
+            anno = self.annotations[scheme.owner]
+            hyp = hyp.conj(self.q.expand(Constraint.of(PredAtom(anno.inv, anno.regions))))
+        for t in tuple(scheme.param_types) + (scheme.ret_type,):
+            if isinstance(t, T.RClass):
+                hyp = hyp.conj(self._invariant_at(t))
+        return hyp
+
+    def _invariant_at(self, t: T.RClass) -> Constraint:
+        anno = self.annotations[t.name]
+        if anno.arity == 0:
+            return TRUE
+        return self.q.expand(
+            Constraint.of(PredAtom(anno.inv, tuple(t.regions)))
+        )
+
+    def _infer_method(
+        self, qualified: str, scc: Set[str], result: InferenceResult
+    ) -> ConstraintAbstraction:
+        scheme = self.schemes[qualified]
+        decl = scheme.decl
+        ctx = _Ctx(scheme, scc)
+        env: Dict[str, T.RType] = {}
+        if scheme.owner is not None:
+            env[S.THIS] = self.annotations[scheme.owner].as_type()
+        for name, t in zip(scheme.param_names, scheme.param_types):
+            env[name] = t
+
+        mark = Region.watermark()
+        tbody = self._infer_block(decl.body, env, ctx, outer_env=env)
+        ctx.add(
+            self._subtype(tbody.type, scheme.ret_type, ctx, by_ref=scheme.by_ref)
+        )
+
+        interface = list(scheme.abstraction_params)
+        gathered = Constraint.all(ctx.constraints)
+        base = gathered.base_atoms()
+        preds = gathered.pred_atoms()
+        hyp = self._hypotheses(scheme)
+
+        # method-level localisation of anything the block rule left behind
+        solver = RegionSolver(base.conj(hyp))
+        protected: Set[Region] = set(interface) | {HEAP}
+        for p in preds:
+            protected |= set(p.args)
+        protected |= set(T.type_regions(tbody.type))
+        body_regions = self._body_regions(tbody)
+        candidates = {
+            r
+            for r in (set(base.regions()) | body_regions)
+            if r.uid > mark and not (r.is_heap or r.is_null)
+        }
+        bound_already = self._letreg_bound(tbody)
+        candidates -= bound_already
+        escapes = solver.upward_closure(protected) | protected
+        rs = candidates - escapes
+        if rs and self.config.localize_blocks:
+            tbody, base = self._apply_localization(tbody, base, rs, ctx)
+
+        # coalesce provably-equal regions (prefer formal names)
+        solver = RegionSolver(base.conj(hyp))
+        coalesce = solver.coalescing_substitution(preferred=interface)
+        keep = set(interface)
+        coalesce = RegionSubst(
+            {k: v for k, v in coalesce if k not in keep and not self._is_bound(k, tbody)}
+        )
+        base = coalesce.apply_constraint(base)
+        preds = tuple(p.rename(coalesce.mapping()) for p in preds)
+        T.rename_expr_regions(tbody, coalesce)
+
+        # map residual escaping regions onto the interface (or the heap)
+        residual_subst = self._residual_substitution(
+            base, preds, tbody, interface, hyp
+        )
+        base = residual_subst.apply_constraint(base)
+        preds = tuple(p.rename(residual_subst.mapping()) for p in preds)
+        T.rename_expr_regions(tbody, residual_subst)
+
+        ret_type = scheme.ret_type
+        tmethod = T.TMethodDecl(
+            name=decl.name,
+            owner=decl.owner,
+            is_static=decl.is_static,
+            region_params=scheme.region_params,
+            ret_type=ret_type,
+            params=[
+                T.TParam(t, n) for t, n in zip(scheme.param_types, scheme.param_names)
+            ],
+            body=tbody,
+            pre_name=scheme.pre,
+        )
+        self._tmethods[qualified] = tmethod
+        result.localized_regions[qualified] = ctx.localized
+
+        pre_body = base.conj(Constraint.of(*preds))
+        abstraction = ConstraintAbstraction(
+            scheme.pre, scheme.abstraction_params, pre_body
+        )
+        self.q.define(abstraction)
+        return abstraction
+
+    def _body_regions(self, body: T.TExpr) -> Set[Region]:
+        out: Set[Region] = set()
+        for node in T.twalk(body):
+            out.update(T.type_regions(node.type) if node.type is not None else ())
+            if isinstance(node, T.TNew):
+                out.update(node.regions)
+            elif isinstance(node, T.TCall):
+                out.update(node.region_args)
+        return out
+
+    def _letreg_bound(self, body: T.TExpr) -> Set[Region]:
+        out: Set[Region] = set()
+        for node in T.twalk(body):
+            if isinstance(node, T.TLetreg):
+                out.update(node.regions)
+        return out
+
+    def _is_bound(self, r: Region, body: T.TExpr) -> bool:
+        return r in self._letreg_bound(body)
+
+    def _apply_localization(
+        self,
+        tbody: T.TExpr,
+        base: Constraint,
+        rs: Set[Region],
+        ctx: _Ctx,
+    ) -> Tuple[T.TExpr, Constraint]:
+        """Collapse ``rs`` into one fresh letreg region around ``tbody``."""
+        local = Region.fresh("rl")
+        subst = RegionSubst({r: local for r in rs})
+        base = subst.apply_constraint(base)
+        base = Constraint(
+            frozenset(a for a in base.atoms if local not in a.regions())
+        )
+        T.rename_expr_regions(tbody, subst)
+        ctx.localized += 1
+        wrapped = T.TLetreg(regions=(local,), body=tbody, type=tbody.type)
+        return wrapped, base
+
+    def _residual_substitution(
+        self,
+        base: Constraint,
+        preds: Tuple[PredAtom, ...],
+        tbody: T.TExpr,
+        interface: List[Region],
+        hyp: Constraint,
+    ) -> RegionSubst:
+        """Map every non-interface, non-letreg region onto a formal or heap.
+
+        Every region of a finished method body must be a region parameter,
+        a letreg-bound local, or the heap (Sec 3.3).  A residual escaping
+        region ``r`` is unified with the longest-lived interface region it
+        provably outlives.
+        """
+        solver = RegionSolver(base.conj(hyp))
+        bound = self._letreg_bound(tbody)
+        keep = set(interface) | bound | {HEAP}
+        mentioned: Set[Region] = set(base.regions()) | self._body_regions(tbody)
+        for p in preds:
+            mentioned.update(p.args)
+        mapping: Dict[Region, Region] = {}
+        for r in sorted(mentioned, key=lambda x: x.uid):
+            if r in keep or r.is_heap or r.is_null:
+                continue
+            # prefer an interface region the residual provably outlives
+            # (allocate directly in the longest-lived such region) ...
+            down = [e for e in interface if solver.entails_outlives(r, e)]
+            if down:
+                best = down[0]
+                for e in down[1:]:
+                    if solver.entails_outlives(e, best):
+                        best = e
+                mapping[r] = best
+                continue
+            # ... else an interface region known to outlive it (the residual
+            # is a covariant *view*; the shortest-lived witness is exact) ...
+            up = [
+                e
+                for e in interface
+                if not e.is_heap and solver.entails_outlives(e, r) and e != r
+            ]
+            if up:
+                best = up[0]
+                for e in up[1:]:
+                    if solver.entails_outlives(best, e):
+                        best = e
+                mapping[r] = best
+                continue
+            # ... else the heap (always sound, never freed).
+            mapping[r] = HEAP
+        return RegionSubst(mapping)
+
+    def _minimize_pre(self, qualified: str) -> None:
+        """Drop pre atoms recoverable from the signature's invariants.
+
+        An atom is dropped when it follows from the invariant hypotheses
+        *plus the remaining pre atoms* (greedy), which reproduces the terse
+        preconditions of the paper's figures; soundness is unaffected
+        because the checker re-assumes the invariants.
+        """
+        scheme = self.schemes[qualified]
+        abstraction = self.q[scheme.pre]
+        hyp = self._hypotheses(scheme)
+        kept = [a for a in abstraction.body.sorted_atoms()]
+        changed = True
+        while changed:
+            changed = False
+            for a in list(kept):
+                if isinstance(a, PredAtom):
+                    continue
+                rest = Constraint.of(*(b for b in kept if b is not a))
+                if RegionSolver(hyp.conj(rest)).entails_atom(a):
+                    kept.remove(a)
+                    changed = True
+        self.q.define(
+            ConstraintAbstraction(
+                abstraction.name, abstraction.params, Constraint.of(*kept)
+            )
+        )
+
+    # ------------------------------------------------------------ expressions
+    def _fresh_type(self, t: S.Type, pads: int = 0, dcast: Sequence[str] = ()) -> T.RType:
+        if isinstance(t, S.PrimType):
+            return T.RPrim(t.name)
+        assert isinstance(t, S.ClassType)
+        anno = self.annotations[t.name]
+        rt = T.RClass(t.name, Region.fresh_many(anno.arity))
+        if pads:
+            rt = rt.with_padding(Region.fresh_many(pads, hint="p"))
+        if dcast:
+            object.__setattr__(rt, "_dcast", frozenset(dcast))
+        return rt
+
+    def _subtype(
+        self,
+        src: T.RType,
+        dst: T.RType,
+        ctx: _Ctx,
+        *,
+        src_expr: Optional[T.TExpr] = None,
+        by_ref: bool = False,
+    ) -> Constraint:
+        """The flow ``src -> dst``, with upcast bookkeeping (Sec 5)."""
+        j = subtype(src, dst, self.config.mode, self.table, self.annotations, by_ref=by_ref)
+        c = j.constraint
+        if j.lost:
+            if self.config.downcast is DowncastStrategy.FIRST_REGION:
+                assert isinstance(src, T.RClass)
+                first = src.regions[0]
+                c = c.conj(Constraint.of(*(RegionEq(r, first) for r in j.lost)))
+            elif self.config.downcast is DowncastStrategy.PADDING:
+                c = c.conj(self._bind_padding(src, dst, j.lost))
+        elif isinstance(src, T.RClass) and isinstance(dst, T.RClass) and dst.padding:
+            # same-class flow into a padded slot: carry the pads through
+            n = min(len(src.padding), len(dst.padding))
+            c = c.conj(
+                Constraint.of(
+                    *(RegionEq(a, b) for a, b in zip(src.padding[:n], dst.padding[:n]))
+                )
+            )
+        return c
+
+    def _bind_padding(
+        self, src: T.RType, dst: T.RType, lost: Tuple[Region, ...]
+    ) -> Constraint:
+        """Record lost regions into the destination's padding, if gated in.
+
+        Padding is only instantiated when the source class is related to a
+        class in the destination's downcast set (the paper skips the ``le``
+        site whose class can never survive the downcast).
+        """
+        if not (isinstance(dst, T.RClass) and dst.padding):
+            return TRUE
+        dset = getattr(dst, "_dcast", None)
+        assert isinstance(src, T.RClass)
+        if dset is not None and not any(
+            self.table.related(src.name, d) for d in dset
+        ):
+            return TRUE
+        supply = tuple(lost) + tuple(src.padding)
+        n = min(len(supply), len(dst.padding))
+        return Constraint.of(
+            *(RegionEq(a, b) for a, b in zip(supply[:n], dst.padding[:n]))
+        )
+
+    def _field_type_at(self, cn: str, field_name: str, regions: Sequence[Region]) -> T.RType:
+        anno = self.annotations[cn]
+        declared = self.annotator.lookup_field_type(cn, field_name)
+        subst = RegionSubst.zip(anno.regions, list(regions))
+        if isinstance(declared, T.RClass):
+            return T.subst_type(subst, declared)
+        return declared
+
+    def _infer_expr(self, e: S.Expr, env: Dict[str, T.RType], ctx: _Ctx) -> T.TExpr:
+        if isinstance(e, S.Var):
+            if e.name not in env:
+                raise InferenceError(f"unbound variable {e.name!r}")
+            return T.TVar(e.name, env[e.name])
+
+        if isinstance(e, S.IntLit):
+            return T.TIntLit(e.value)
+
+        if isinstance(e, S.BoolLit):
+            return T.TBoolLit(e.value)
+
+        if isinstance(e, S.Null):
+            assert e.class_name is not None, "normal typing resolves nulls"
+            if self.config.null_fictitious_regions:
+                # Sec 8's extension: null occupies no space and moves
+                # freely, so every region slot is the fictitious rnull
+                arity = self.annotations[e.class_name].arity
+                t: T.RType = T.RClass(e.class_name, (NULL_REGION,) * arity)
+            else:
+                t = self._fresh_type(S.ClassType(e.class_name))
+            assert isinstance(t, T.RClass)
+            return T.TNull(type=t)
+
+        if isinstance(e, S.FieldRead):
+            recv = self._infer_expr(e.receiver, env, ctx)
+            if not isinstance(recv.type, T.RClass):
+                raise InferenceError(f"field read on non-object {recv.type}")
+            t = self._field_type_at(recv.type.name, e.field_name, recv.type.regions)
+            return T.TFieldRead(recv, e.field_name, t)
+
+        if isinstance(e, S.Assign):
+            rhs = self._infer_expr(e.rhs, env, ctx)
+            if isinstance(e.lhs, S.Var):
+                lhs: T.TExpr = T.TVar(e.lhs.name, env[e.lhs.name])
+            else:
+                assert isinstance(e.lhs, S.FieldRead)
+                lhs = self._infer_expr(e.lhs, env, ctx)
+            ctx.add(self._subtype(rhs.type, lhs.type, ctx, src_expr=rhs))
+            return T.TAssign(lhs, rhs, T.R_VOID)
+
+        if isinstance(e, S.New):
+            return self._infer_new(e, env, ctx)
+
+        if isinstance(e, S.Call):
+            return self._infer_call(e, env, ctx)
+
+        if isinstance(e, S.Cast):
+            return self._infer_cast(e, env, ctx)
+
+        if isinstance(e, S.If):
+            return self._infer_if(e, env, ctx)
+
+        if isinstance(e, S.While):
+            cond = self._infer_expr(e.cond, env, ctx)
+            body = self._infer_block(e.body, env, ctx, outer_env=env)
+            return T.TWhile(cond, body, T.R_VOID)
+
+        if isinstance(e, S.Binop):
+            left = self._infer_expr(e.left, env, ctx)
+            right = self._infer_expr(e.right, env, ctx)
+            out = T.R_BOOL if e.op not in S.ARITH_OPS else T.R_INT
+            return T.TBinop(e.op, left, right, out)
+
+        if isinstance(e, S.Unop):
+            operand = self._infer_expr(e.operand, env, ctx)
+            out = T.R_BOOL if e.op == "!" else T.R_INT
+            return T.TUnop(e.op, operand, out)
+
+        if isinstance(e, S.Block):
+            return self._infer_block(e, env, ctx, outer_env=env)
+
+        raise InferenceError(f"unknown expression {e!r}")
+
+    def _infer_new(self, e: S.New, env: Dict[str, T.RType], ctx: _Ctx) -> T.TNew:
+        pads = 0
+        dset: Sequence[str] = ()
+        key = ("new", e.label, "")
+        if key in self.plan.downcast_sets:
+            dset = sorted(self.plan.downcast_sets[key])
+            pads = self._pad_count(e.class_name, dset)
+        t = self._fresh_type(S.ClassType(e.class_name), pads=pads, dcast=dset)
+        assert isinstance(t, T.RClass)
+        ctx.add(self._invariant_at(t))
+        targs: List[T.TExpr] = []
+        fields = self.table.fields(e.class_name)
+        for arg, fdecl in zip(e.args, fields):
+            targ = self._infer_expr(arg, env, ctx)
+            expected = self._field_type_at(e.class_name, fdecl.name, t.regions)
+            ctx.add(self._subtype(targ.type, expected, ctx, src_expr=targ))
+            targs.append(targ)
+        return T.TNew(
+            class_name=e.class_name,
+            regions=t.regions,
+            args=targs,
+            type=t,
+            label=e.label,
+        )
+
+    def _pad_count(self, cn: str, dset: Sequence[str]) -> int:
+        base = self.annotations[cn].arity
+        related = [d for d in dset if self.table.related(d, cn)]
+        if not related:
+            return 0
+        return max(self.annotations[d].arity for d in related) - base
+
+    def _infer_call(self, e: S.Call, env: Dict[str, T.RType], ctx: _Ctx) -> T.TCall:
+        if e.receiver is None:
+            decl = self.table.lookup_static(e.method_name)
+            if decl is None:
+                raise InferenceError(f"unknown static method {e.method_name!r}")
+            scheme = self.schemes[decl.qualified_name]
+            recv: Optional[T.TExpr] = None
+            class_subst = RegionSubst.identity()
+            class_args: Tuple[Region, ...] = ()
+        else:
+            recv = self._infer_expr(e.receiver, env, ctx)
+            if not isinstance(recv.type, T.RClass):
+                raise InferenceError(f"method call on non-object {recv.type}")
+            found = self.table.lookup_method(recv.type.name, e.method_name)
+            if found is None:
+                raise InferenceError(
+                    f"class {recv.type.name} has no method {e.method_name!r}"
+                )
+            scheme = self.schemes[f"{found[1]}.{found[0].name}"]
+            n = len(scheme.class_regions)
+            class_args = tuple(recv.type.regions[:n])
+            class_subst = RegionSubst.zip(scheme.class_regions, class_args)
+
+        in_scc = scheme.qualified in ctx.scc
+        targs: List[T.TExpr] = [self._infer_expr(a, env, ctx) for a in e.args]
+        if in_scc and not self.config.polymorphic_recursion:
+            # Region-monomorphic recursion (ablation): the recursive call
+            # reuses the definition's own region instantiation, so the
+            # actual argument regions are *equated into the formals* (this
+            # is where the paper's join example loses precision).
+            full = RegionSubst.identity()
+            if class_args:
+                ctx.add(
+                    Constraint.of(
+                        *(
+                            RegionEq(f, a)
+                            for f, a in zip(scheme.class_regions, class_args)
+                        )
+                    )
+                )
+        else:
+            # Equivariant instantiation ([e-call]): each parameter formal
+            # region maps directly onto the corresponding *actual* argument
+            # region (the paper applies region subtyping at the callee's
+            # param-to-local copy, not at the call boundary).  Result
+            # regions are fresh.
+            full = class_subst.compose(RegionSubst.identity())
+            for targ, ptype in zip(targs, scheme.param_types):
+                if not isinstance(ptype, T.RClass):
+                    continue
+                if not isinstance(targ.type, T.RClass):
+                    raise InferenceError(
+                        f"argument type {targ.type} for parameter {ptype}"
+                    )
+                k = len(ptype.regions)
+                for formal, actual in zip(ptype.regions, targ.type.regions[:k]):
+                    full = full.extended(formal, actual)
+            unmapped = [r for r in scheme.region_params if r not in full]
+            for r, f in zip(unmapped, Region.fresh_many(len(unmapped))):
+                full = full.extended(r, f)
+        method_args = full.apply_all(scheme.region_params)
+
+        for targ, ptype in zip(targs, scheme.param_types):
+            if not isinstance(ptype, T.RClass):
+                continue
+            expected = T.subst_type(full, ptype)
+            ctx.add(
+                self._subtype(targ.type, expected, ctx, src_expr=targ, by_ref=scheme.by_ref)
+            )
+
+        ret = (
+            T.subst_type(full, scheme.ret_type)
+            if isinstance(scheme.ret_type, T.RClass)
+            else scheme.ret_type
+        )
+        pre_args = class_args + tuple(method_args)
+        if in_scc:
+            ctx.add(Constraint.of(PredAtom(scheme.pre, pre_args)))
+        else:
+            ctx.add(self.q.expand(Constraint.of(PredAtom(scheme.pre, pre_args))))
+        return T.TCall(
+            receiver=recv,
+            method_name=e.method_name,
+            region_args=tuple(method_args),
+            args=targs,
+            type=ret,
+            static_class=scheme.owner,
+        )
+
+    def _infer_cast(self, e: S.Cast, env: Dict[str, T.RType], ctx: _Ctx) -> T.TExpr:
+        inner = self._infer_expr(e.expr, env, ctx)
+        if not isinstance(inner.type, T.RClass):
+            raise InferenceError(f"cast of non-object {inner.type}")
+        src_cn = inner.type.name
+        dst_cn = e.class_name
+        if src_cn == dst_cn:
+            return inner
+        if self.table.is_subclass(src_cn, dst_cn):
+            # upcast: ordinary subsumption to a fresh supertype instance
+            dst = self._fresh_type(S.ClassType(dst_cn))
+            assert isinstance(dst, T.RClass)
+            ctx.add(self._subtype(inner.type, dst, ctx, src_expr=inner))
+            return T.TCast(inner, dst)
+        # downcast (normal typing guarantees relatedness)
+        if self.config.downcast is DowncastStrategy.REJECT:
+            raise InferenceError(
+                f"downcast ({dst_cn}) on {src_cn} rejected by configuration"
+            )
+        need = self.annotations[dst_cn].arity - self.annotations[src_cn].arity
+        prefix = inner.type.regions
+        if self.config.downcast is DowncastStrategy.FIRST_REGION:
+            extras = Region.fresh_many(need)
+            ctx.add(
+                Constraint.of(*(RegionEq(r, prefix[0]) for r in extras))
+            )
+            dst = T.RClass(dst_cn, prefix + extras)
+            return T.TCast(inner, dst)
+        # PADDING: recover the lost regions from the operand's pads
+        pads = inner.type.padding
+        if len(pads) < need:
+            raise InferenceError(
+                f"downcast ({dst_cn}) at an unpadded site: the flow analysis "
+                f"found no padding for a value of type {inner.type}; this "
+                "flow is outside the padding analysis' coverage"
+            )
+        dst = T.RClass(dst_cn, prefix + pads[:need], pads[need:])
+        dset = getattr(inner.type, "_dcast", None)
+        if dset:
+            object.__setattr__(dst, "_dcast", dset)
+        return T.TCast(inner, dst)
+
+    def _infer_if(self, e: S.If, env: Dict[str, T.RType], ctx: _Ctx) -> T.TIf:
+        cond = self._infer_expr(e.cond, env, ctx)
+        then = self._infer_expr(e.then, env, ctx)
+        els = self._infer_expr(e.els, env, ctx)
+        t1, t2 = then.type, els.type
+        if isinstance(t1, T.RClass) and isinstance(t2, T.RClass):
+            if t1.name == t2.name and t1.regions == t2.regions:
+                merged: T.RType = t1
+            else:
+                cn = self.table.msst(t1.name, t2.name)
+                merged = self._fresh_type(S.ClassType(cn))
+                ctx.add(self._subtype(t1, merged, ctx, src_expr=then))
+                ctx.add(self._subtype(t2, merged, ctx, src_expr=els))
+        elif isinstance(t1, T.RPrim) and isinstance(t2, T.RPrim) and t1.name == t2.name:
+            merged = t1
+        else:
+            merged = T.R_VOID
+        return T.TIf(cond, then, els, merged)
+
+    def _infer_block(
+        self,
+        block: S.Block,
+        env: Dict[str, T.RType],
+        ctx: _Ctx,
+        *,
+        outer_env: Dict[str, T.RType],
+    ) -> T.TExpr:
+        mark = Region.watermark()
+        cmark = len(ctx.constraints)
+        inner = dict(env)
+        stmts: List[T.TStmt] = []
+        for s in block.stmts:
+            if isinstance(s, S.LocalDecl):
+                pads = 0
+                dset: Sequence[str] = ()
+                key = ("var", ctx.scheme.qualified, s.name)
+                if key in self.plan.downcast_sets and isinstance(s.decl_type, S.ClassType):
+                    dset = sorted(self.plan.downcast_sets[key])
+                    pads = self._pad_count(s.decl_type.name, dset)
+                t = self._fresh_type(s.decl_type, pads=pads, dcast=dset)
+                init: Optional[T.TExpr] = None
+                if s.init is not None:
+                    init = self._infer_expr(s.init, inner, ctx)
+                    ctx.add(self._subtype(init.type, t, ctx, src_expr=init))
+                inner[s.name] = t
+                stmts.append(T.TLocalDecl(t, s.name, init))
+            else:
+                assert isinstance(s, S.ExprStmt)
+                stmts.append(T.TExprStmt(self._infer_expr(s.expr, inner, ctx)))
+        result: Optional[T.TExpr] = None
+        rtype: T.RType = T.R_VOID
+        if block.result is not None:
+            result = self._infer_expr(block.result, inner, ctx)
+            rtype = result.type
+        tblock: T.TExpr = T.TBlock(stmts=stmts, result=result, type=rtype)
+
+        if not self.config.localize_blocks:
+            return tblock
+
+        # ---- the [letreg] rule -------------------------------------------
+        block_constraints = Constraint.all(ctx.slice_from(cmark))
+        base = block_constraints.base_atoms()
+        solver = RegionSolver(base)
+        protected: Set[Region] = {HEAP}
+        for t in outer_env.values():
+            protected |= set(T.type_regions(t))
+        protected |= set(T.type_regions(rtype))
+        for p in block_constraints.pred_atoms():
+            protected |= set(p.args)
+        protected |= set(ctx.scheme.abstraction_params)
+        bound = self._letreg_bound(tblock)
+        candidates = {
+            r
+            for r in (set(base.regions()) | self._body_regions(tblock))
+            if r.uid > mark and not (r.is_heap or r.is_null)
+        }
+        candidates -= bound
+        escapes = solver.upward_closure(protected) | protected
+        rs = candidates - escapes
+        if not rs:
+            return tblock
+
+        local = Region.fresh("rl")
+        subst = RegionSubst({r: local for r in rs})
+        new_slice = [
+            Constraint(
+                frozenset(
+                    a
+                    for a in subst.apply_constraint(c).atoms
+                    if local not in a.regions()
+                )
+            )
+            for c in ctx.slice_from(cmark)
+        ]
+        del ctx.constraints[cmark:]
+        ctx.constraints.extend(c for c in new_slice if not c.is_true)
+        T.rename_expr_regions(tblock, subst)
+        ctx.localized += 1
+        return T.TLetreg(regions=(local,), body=tblock, type=rtype)
+
+    # ------------------------------------------------------------ assembly
+    def _assemble(self, target: T.TProgram) -> None:
+        for cn in self.table.class_names():
+            anno = self.annotations[cn]
+            decl = self.table.decl(cn)
+            fields = [
+                T.TFieldDecl(anno.own_field_types[f.name], f.name)
+                for f in decl.fields
+            ]
+            methods = [
+                self._tmethods[f"{cn}.{m.name}"]
+                for m in decl.methods
+                if f"{cn}.{m.name}" in self._tmethods
+            ]
+            target.classes.append(
+                T.TClassDecl(
+                    name=cn,
+                    regions=anno.regions,
+                    super_name=decl.super_name,
+                    super_regions=anno.super_regions,
+                    fields=fields,
+                    methods=methods,
+                    inv_name=anno.inv,
+                    rec_region=anno.rec_region,
+                )
+            )
+        for m in self.program.statics:
+            if m.qualified_name in self._tmethods:
+                target.statics.append(self._tmethods[m.qualified_name])
+
+
+def infer_program(
+    program: S.Program, config: Optional[InferenceConfig] = None
+) -> InferenceResult:
+    """Infer region annotations for a parsed program."""
+    return RegionInference(program, config).infer()
+
+
+def infer_source(
+    source: str, config: Optional[InferenceConfig] = None
+) -> InferenceResult:
+    """Parse and infer region annotations for Core-Java source text."""
+    return infer_program(parse_program(source), config)

@@ -1,0 +1,18 @@
+"""Frontend: lexing, parsing and loop conversion for Core-Java."""
+
+from .lexer import LexError, Token, tokenize
+from .loops import clone_expr, convert_loops, free_vars
+from .parser import ParseError, Parser, parse_expr, parse_program
+
+__all__ = [
+    "LexError",
+    "Token",
+    "tokenize",
+    "ParseError",
+    "Parser",
+    "parse_expr",
+    "parse_program",
+    "convert_loops",
+    "clone_expr",
+    "free_vars",
+]

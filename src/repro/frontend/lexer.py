@@ -1,0 +1,142 @@
+"""Lexer for Core-Java source text.
+
+Produces a stream of :class:`Token` objects with positions.  Supports
+``//`` line comments and ``/* ... */`` block comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..lang.ast import Pos
+
+__all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "class",
+        "extends",
+        "new",
+        "null",
+        "true",
+        "false",
+        "if",
+        "else",
+        "while",
+        "return",
+        "this",
+        "static",
+        "int",
+        "bool",
+        "boolean",
+        "void",
+        "letreg",
+        "in",
+        "where",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = ("==", "!=", "<=", ">=", "&&", "||")
+_SINGLE_OPS = "+-*/%<>=!.,;(){}[]"
+
+
+class LexError(Exception):
+    """Raised on malformed input text."""
+
+    def __init__(self, message: str, pos: Pos):
+        super().__init__(f"{pos}: {message}")
+        self.pos = pos
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``"id"``, ``"int"``, ``"kw"``, ``"op"``, ``"eof"``;
+    ``text`` is the matched text (empty for eof).
+    """
+
+    kind: str
+    text: str
+    pos: Pos
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind == "kw" and self.text == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.text == op
+
+    def __str__(self) -> str:
+        return self.text if self.kind != "eof" else "<eof>"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into a token list ending with one ``eof`` token."""
+    tokens: List[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(source)
+
+    def pos() -> Pos:
+        return Pos(line, col)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start = pos()
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start)
+            advance(2)
+            continue
+        if ch.isdigit():
+            start, p = i, pos()
+            while i < n and source[i].isdigit():
+                advance(1)
+            tokens.append(Token("int", source[start:i], p))
+            continue
+        if ch.isalpha() or ch == "_":
+            start, p = i, pos()
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            word = source[start:i]
+            kind = "kw" if word in KEYWORDS else "id"
+            tokens.append(Token(kind, word, p))
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, pos()))
+                advance(len(op))
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token("op", ch, pos()))
+            advance(1)
+            continue
+        raise LexError(f"unexpected character {ch!r}", pos())
+
+    tokens.append(Token("eof", "", pos()))
+    return tokens

@@ -1,0 +1,23 @@
+"""Core-Java: source AST, region-annotated target AST, class table, printers.
+
+* :mod:`repro.lang.ast` -- the source language of paper Fig 1(a).
+* :mod:`repro.lang.target` -- the region-annotated target of Fig 1(b).
+* :mod:`repro.lang.class_table` -- hierarchy / member-lookup queries
+  (``fieldlist``, ``methlist``, ``split``, ``isRecReadOnly``).
+* :mod:`repro.lang.pretty` -- pretty printers for both languages.
+"""
+
+from . import ast, target
+from .class_table import ClassTable, ClassTableError
+from .pretty import pretty_expr, pretty_program, pretty_target, pretty_texpr
+
+__all__ = [
+    "ast",
+    "target",
+    "ClassTable",
+    "ClassTableError",
+    "pretty_expr",
+    "pretty_program",
+    "pretty_target",
+    "pretty_texpr",
+]

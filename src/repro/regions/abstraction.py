@@ -1,0 +1,191 @@
+"""Constraint abstractions (parameterised constraints).
+
+The paper attaches a *constraint abstraction* [Gustavsson & Svenningsson] to
+every class and method:
+
+* ``inv.cn<r1..rn>`` -- the *class invariant*: the region constraints every
+  object of class ``cn`` satisfies (at minimum the no-dangling requirement
+  ``ri >= r1`` for every component region).
+
+* ``pre.cn.mn<..>`` / ``pre.mn<..>`` -- the *method precondition*: the
+  constraint a caller must establish on the method's region parameters.
+
+An abstraction's body may mention other abstractions through
+:class:`~repro.regions.constraints.PredAtom` atoms; for (mutually) recursive
+methods the bodies are self-referential and are resolved to closed form by
+:mod:`repro.regions.fixpoint`.
+
+The collection ``Q`` of all abstractions of a program is an
+:class:`AbstractionEnv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from .constraints import Constraint, PredAtom, Region, TRUE
+from .substitution import RegionSubst
+
+__all__ = ["ConstraintAbstraction", "AbstractionEnv", "inv_name", "pre_name"]
+
+
+def inv_name(class_name: str) -> str:
+    """The abstraction name for a class invariant, e.g. ``inv.Pair``."""
+    return f"inv.{class_name}"
+
+
+def pre_name(class_name: Optional[str], method_name: str) -> str:
+    """The abstraction name of a method precondition.
+
+    Instance methods are qualified by their class (``pre.Pair.getFst``);
+    static methods only by their name (``pre.join``), as in the paper.
+    """
+    if class_name is None:
+        return f"pre.{method_name}"
+    return f"pre.{class_name}.{method_name}"
+
+
+@dataclass
+class ConstraintAbstraction:
+    """A named, parameterised constraint ``name<params> = body``.
+
+    ``body`` may contain :class:`PredAtom` references to this or other
+    abstractions.  ``closed`` marks bodies with no remaining pred atoms
+    (i.e. after fixed-point analysis).
+    """
+
+    name: str
+    params: Tuple[Region, ...]
+    body: Constraint
+
+    def __post_init__(self) -> None:
+        self.params = tuple(self.params)
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def is_closed(self) -> bool:
+        """True when the body no longer references any abstraction."""
+        return not self.body.pred_atoms()
+
+    @property
+    def is_recursive(self) -> bool:
+        """True when the body references this abstraction itself."""
+        return any(p.name == self.name for p in self.body.pred_atoms())
+
+    def arity(self) -> int:
+        return len(self.params)
+
+    # -- instantiation ---------------------------------------------------------
+    def instantiate(self, args: Sequence[Region]) -> Constraint:
+        """The body with formal parameters replaced by ``args``.
+
+        Free regions of the body that are not parameters (existentially
+        quantified locals) are freshened so distinct instantiations never
+        share them.
+        """
+        if len(args) != len(self.params):
+            raise ValueError(
+                f"{self.name} expects {len(self.params)} regions, got {len(args)}"
+            )
+        subst = RegionSubst.zip(self.params, list(args))
+        locals_ = [
+            r
+            for r in self.body.regions()
+            if r not in set(self.params) and not (r.is_heap or r.is_null)
+        ]
+        if locals_:
+            fresh = Region.fresh_many(len(locals_), hint="x")
+            subst = subst.compose(RegionSubst.identity())
+            for loc, f in zip(locals_, fresh):
+                subst = subst.extended(loc, f)
+        return subst.apply_constraint(self.body)
+
+    def applied(self, args: Sequence[Region]) -> PredAtom:
+        """A pred atom referencing this abstraction with ``args``."""
+        if len(args) != len(self.params):
+            raise ValueError(
+                f"{self.name} expects {len(self.params)} regions, got {len(args)}"
+            )
+        return PredAtom(self.name, tuple(args))
+
+    def with_body(self, body: Constraint) -> "ConstraintAbstraction":
+        return ConstraintAbstraction(self.name, self.params, body)
+
+    def strengthened(self, extra: Constraint) -> "ConstraintAbstraction":
+        """The abstraction with ``extra`` conjoined to its body."""
+        return self.with_body(self.body.conj(extra))
+
+    def __str__(self) -> str:
+        ps = ", ".join(str(p) for p in self.params)
+        return f"{self.name}<{ps}> = {self.body}"
+
+
+class AbstractionEnv:
+    """The set ``Q`` of constraint abstractions of a program.
+
+    Provides registration, lookup, instantiation and full inlining
+    (expansion of all pred atoms, assuming every referenced abstraction is
+    closed).
+    """
+
+    def __init__(self, abstractions: Iterable[ConstraintAbstraction] = ()):
+        self._by_name: Dict[str, ConstraintAbstraction] = {}
+        for a in abstractions:
+            self.define(a)
+
+    # -- mutation ---------------------------------------------------------------
+    def define(self, abstraction: ConstraintAbstraction) -> None:
+        """Register (or replace) an abstraction."""
+        self._by_name[abstraction.name] = abstraction
+
+    def strengthen(self, name: str, extra: Constraint) -> None:
+        """Conjoin ``extra`` onto the named abstraction's body."""
+        self._by_name[name] = self._by_name[name].strengthened(extra)
+
+    # -- lookup --------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ConstraintAbstraction:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no constraint abstraction named {name!r}") from None
+
+    def get(self, name: str) -> Optional[ConstraintAbstraction]:
+        return self._by_name.get(name)
+
+    def __iter__(self) -> Iterator[ConstraintAbstraction]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._by_name))
+
+    # -- expansion -----------------------------------------------------------------
+    def instantiate(self, name: str, args: Sequence[Region]) -> Constraint:
+        return self[name].instantiate(args)
+
+    def expand(self, constraint: Constraint, *, _depth: int = 0) -> Constraint:
+        """Replace every pred atom by its (closed) definition, recursively.
+
+        Raises ``ValueError`` if expansion does not terminate within a
+        generous depth bound, which indicates an abstraction that was never
+        closed by fixed-point analysis.
+        """
+        if _depth > 64:
+            raise ValueError("constraint abstraction expansion did not terminate")
+        preds = constraint.pred_atoms()
+        if not preds:
+            return constraint
+        result = constraint.base_atoms()
+        for atom in preds:
+            body = self.instantiate(atom.name, atom.args)
+            result = result.conj(self.expand(body, _depth=_depth + 1))
+        return result
+
+    def __str__(self) -> str:
+        return "\n".join(str(self._by_name[n]) for n in sorted(self._by_name))

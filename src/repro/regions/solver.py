@@ -1,0 +1,457 @@
+"""The region-constraint solver.
+
+The solver gives semantics to conjunctions of ``Outlives``/``RegionEq`` atoms:
+
+* equalities are handled with a union-find structure;
+* outlives atoms form a directed graph over equivalence-class
+  representatives (edge ``a -> b`` for ``a >= b``);
+* cycles in the outlives graph are collapsed into equalities
+  (``r >= s /\\ s >= r  =>  r = s``) -- this is what forces every cyclic data
+  structure into a single region (paper Sec 4.2.2);
+* the heap outlives everything, and the fictitious null region both outlives
+  and is outlived by everything, so neither ever needs explicit edges;
+* entailment ``C |= a >= b`` is reachability in the closed graph;
+* ``project`` computes the strongest consequence of a constraint over a set
+  of *interface* regions -- used to turn the constraints gathered from a
+  method body into the method's precondition ``pre.m`` (existentially
+  quantifying the method's local regions).
+
+The solver ignores :class:`~repro.regions.constraints.PredAtom` atoms; those
+are eliminated beforehand by fixed-point analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .constraints import (
+    Atom,
+    Constraint,
+    HEAP,
+    Outlives,
+    PredAtom,
+    Region,
+    RegionEq,
+)
+from .substitution import RegionSubst
+
+__all__ = ["RegionSolver", "solve", "entails", "coalescing_substitution"]
+
+
+class RegionSolver:
+    """Incremental solver for outlives/equality constraints.
+
+    Typical use::
+
+        solver = RegionSolver()
+        solver.add_constraint(gathered)
+        solver.close()                      # collapse cycles
+        assert solver.entails(Outlives(r2, r4))
+        pre = solver.project([r1, r2, r4])  # strongest consequence
+
+    The solver may be seeded with *hypotheses* (e.g. a class invariant and a
+    method precondition during checking) and then asked whether obligations
+    follow.
+    """
+
+    def __init__(self, constraint: Optional[Constraint] = None):
+        # union-find parent pointers; regions are added lazily.
+        self._parent: Dict[Region, Region] = {}
+        # outlives edges over *representatives*: succ[a] = {b | a >= b}
+        self._succ: Dict[Region, Set[Region]] = {}
+        self._pred: Dict[Region, Set[Region]] = {}
+        self._closed = False
+        if constraint is not None:
+            self.add_constraint(constraint)
+
+    # -- union-find -----------------------------------------------------------
+    def _ensure(self, r: Region) -> Region:
+        if r not in self._parent:
+            self._parent[r] = r
+            self._succ[r] = set()
+            self._pred[r] = set()
+        return self.find(r)
+
+    def find(self, r: Region) -> Region:
+        """Representative of ``r``'s equivalence class."""
+        if r not in self._parent:
+            return r
+        root = r
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # path compression
+        while self._parent[r] != root:
+            self._parent[r], r = root, self._parent[r]
+        return root
+
+    def union(self, a: Region, b: Region) -> Region:
+        """Merge the classes of ``a`` and ``b``; returns the representative.
+
+        Heap and null regions are canonical: if either side is heap (resp.
+        null) the merged class is represented by it, so entailment rules for
+        the distinguished regions stay uniform.
+        """
+        ra, rb = self._ensure(a), self._ensure(b)
+        if ra == rb:
+            return ra
+        # prefer heap, then null, then the older (smaller-uid) region as rep:
+        # older regions are usually interface regions, which keeps projected
+        # constraints readable.
+        keep, drop = (ra, rb)
+        if rb.is_heap or (rb.is_null and not ra.is_heap):
+            keep, drop = rb, ra
+        elif not (ra.is_heap or ra.is_null) and rb.uid < ra.uid:
+            keep, drop = rb, ra
+        self._parent[drop] = keep
+        self._succ.setdefault(keep, set()).update(
+            self.find(s) for s in self._succ.pop(drop, ())
+        )
+        self._pred.setdefault(keep, set()).update(
+            self.find(p) for p in self._pred.pop(drop, ())
+        )
+        # re-point edges held by neighbours
+        for other, succs in self._succ.items():
+            if drop in succs:
+                succs.discard(drop)
+                succs.add(keep)
+        for other, preds in self._pred.items():
+            if drop in preds:
+                preds.discard(drop)
+                preds.add(keep)
+        self._succ[keep].discard(keep)
+        self._pred[keep].discard(keep)
+        self._closed = False
+        return keep
+
+    # -- building ----------------------------------------------------------------
+    def add_outlives(self, left: Region, right: Region) -> None:
+        """Record ``left >= right``."""
+        if left.is_heap or left.is_null or right.is_null or left == right:
+            return  # trivially valid
+        if right.is_heap:
+            # r >= heap forces r to *be* heap-like (heap already >= r).
+            self.union(left, HEAP)
+            return
+        la, rb = self._ensure(left), self._ensure(right)
+        if la == rb:
+            return
+        self._succ[la].add(rb)
+        self._pred[rb].add(la)
+        self._closed = False
+
+    def add_eq(self, left: Region, right: Region) -> None:
+        """Record ``left = right``."""
+        if left == right or left.is_null or right.is_null:
+            return
+        self.union(left, right)
+
+    def add_atom(self, atom: Atom) -> None:
+        if isinstance(atom, Outlives):
+            self.add_outlives(atom.left, atom.right)
+        elif isinstance(atom, RegionEq):
+            self.add_eq(atom.left, atom.right)
+        elif isinstance(atom, PredAtom):
+            raise ValueError(
+                f"solver cannot handle unexpanded constraint abstraction {atom}; "
+                "run fixed-point analysis first"
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown atom {atom!r}")
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        for atom in constraint.atoms:
+            self.add_atom(atom)
+
+    # -- closure -------------------------------------------------------------------
+    def close(self) -> None:
+        """Collapse every cycle of the outlives graph into an equality class.
+
+        After closing, the graph over representatives is a DAG, so
+        entailment is plain reachability.  Idempotent.
+        """
+        if self._closed:
+            return
+        changed = True
+        while changed:
+            changed = False
+            for scc in self._tarjan_sccs():
+                if len(scc) > 1:
+                    first = scc[0]
+                    for other in scc[1:]:
+                        self.union(first, other)
+                    changed = True
+        self._closed = True
+
+    def _tarjan_sccs(self) -> List[List[Region]]:
+        """Iterative Tarjan over the current representative graph."""
+        reps = {self.find(r) for r in self._parent}
+        index: Dict[Region, int] = {}
+        low: Dict[Region, int] = {}
+        on_stack: Set[Region] = set()
+        stack: List[Region] = []
+        sccs: List[List[Region]] = []
+        counter = [0]
+
+        for start in reps:
+            if start in index:
+                continue
+            work: List[Tuple[Region, Iterable[Region]]] = [(start, iter(sorted(
+                (self.find(s) for s in self._succ.get(start, ())), key=lambda x: x.uid
+            )))]
+            index[start] = low[start] = counter[0]
+            counter[0] += 1
+            stack.append(start)
+            on_stack.add(start)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child == node:
+                        continue
+                    if child not in index:
+                        index[child] = low[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(sorted(
+                            (self.find(s) for s in self._succ.get(child, ())),
+                            key=lambda x: x.uid,
+                        ))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member == node:
+                            break
+                    sccs.append(scc)
+        return sccs
+
+    # -- queries ----------------------------------------------------------------
+    def same_region(self, a: Region, b: Region) -> bool:
+        """Does the constraint force ``a = b``?"""
+        self.close()
+        if a.is_null or b.is_null:
+            return True
+        return self.find(a) == self.find(b)
+
+    def reachable(self, src: Region, dst: Region) -> bool:
+        """Is there an outlives path ``src >= ... >= dst``? (on representatives)"""
+        self.close()
+        a, b = self.find(src), self.find(dst)
+        if a == b:
+            return True
+        seen = {a}
+        frontier = [a]
+        while frontier:
+            node = frontier.pop()
+            for nxt in self._succ.get(node, ()):
+                nxt = self.find(nxt)
+                if nxt == b:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    def entails_outlives(self, left: Region, right: Region) -> bool:
+        """Does the recorded constraint entail ``left >= right``?"""
+        if left.is_heap or left.is_null or right.is_null or left == right:
+            return True
+        if right.is_heap:
+            return self.same_region(left, HEAP)
+        return self.reachable(left, right)
+
+    def entails_atom(self, atom: Atom) -> bool:
+        if isinstance(atom, Outlives):
+            return self.entails_outlives(atom.left, atom.right)
+        if isinstance(atom, RegionEq):
+            return self.same_region(atom.left, atom.right)
+        raise ValueError(f"cannot decide entailment of predicate atom {atom}")
+
+    def entails(self, constraint: Constraint) -> bool:
+        """Does the recorded constraint entail every atom of ``constraint``?"""
+        return all(self.entails_atom(a) for a in constraint.atoms)
+
+    def failing_atoms(self, constraint: Constraint) -> Tuple[Atom, ...]:
+        """The atoms of ``constraint`` that do *not* follow (for diagnostics)."""
+        return tuple(a for a in constraint.sorted_atoms() if not self.entails_atom(a))
+
+    def upward_closure(self, targets: Iterable[Region]) -> FrozenSet[Region]:
+        """All known regions ``r`` with ``C |= r >= t`` for some target ``t``.
+
+        This is the escape set of the [letreg] rule: a region that must
+        outlive an escaping region escapes itself.  Includes the targets and
+        every member of their equivalence classes.
+        """
+        self.close()
+        targets = list(targets)
+        reps = set()
+        for t in targets:
+            if t in self._parent:
+                reps.add(self.find(t))
+        # reverse reachability over representative edges
+        frontier = list(reps)
+        while frontier:
+            node = frontier.pop()
+            for prev in self._pred.get(node, ()):
+                prev = self.find(prev)
+                if prev not in reps:
+                    reps.add(prev)
+                    frontier.append(prev)
+        members = {r for r in self._parent if self.find(r) in reps}
+        # a target trivially outlives itself even if the solver has never
+        # seen it in an atom
+        members.update(targets)
+        return frozenset(members)
+
+    # -- extraction ----------------------------------------------------------------
+    def known_regions(self) -> FrozenSet[Region]:
+        return frozenset(self._parent.keys())
+
+    def equivalence_classes(self) -> List[List[Region]]:
+        """All non-singleton equivalence classes (deterministic order)."""
+        self.close()
+        groups: Dict[Region, List[Region]] = {}
+        for r in self._parent:
+            groups.setdefault(self.find(r), []).append(r)
+        out = [sorted(g, key=lambda x: x.uid) for g in groups.values() if len(g) > 1]
+        out.sort(key=lambda g: g[0].uid)
+        return out
+
+    def coalescing_substitution(
+        self, preferred: Sequence[Region] = ()
+    ) -> RegionSubst:
+        """A substitution replacing each region by its class's canonical member.
+
+        ``preferred`` regions (e.g. a method's declared region parameters)
+        win the choice of canonical member within their class; otherwise the
+        oldest region wins.  Applying this substitution to an annotated
+        program realises the "coalesce equal regions" simplification of the
+        paper's examples (Fig 5(d)).
+        """
+        self.close()
+        pref_rank = {r: i for i, r in enumerate(preferred)}
+        groups: Dict[Region, List[Region]] = {}
+        for r in self._parent:
+            groups.setdefault(self.find(r), []).append(r)
+        mapping: Dict[Region, Region] = {}
+        for rep, members in groups.items():
+            if rep.is_heap or rep.is_null:
+                canon = rep
+            else:
+                canon = min(
+                    members,
+                    key=lambda x: (pref_rank.get(x, len(pref_rank)), x.uid),
+                )
+            for m in members:
+                if m != canon:
+                    mapping[m] = canon
+        return RegionSubst(mapping)
+
+    def project(
+        self,
+        interface: Sequence[Region],
+        *,
+        transitive_reduce: bool = True,
+    ) -> Constraint:
+        """Strongest consequence of the constraint over ``interface`` regions.
+
+        For every ordered pair ``(a, b)`` of interface regions, the result
+        contains ``a = b`` if the classes coincide, or ``a >= b`` if there is
+        an outlives path.  With ``transitive_reduce`` the redundant outlives
+        atoms implied by others in the result are dropped, matching the terse
+        preconditions shown in the paper's figures.
+        """
+        self.close()
+        iface = [r for r in interface if not r.is_null]
+        # Equalities among interface regions.
+        eq_atoms: List[Atom] = []
+        canon_of: Dict[Region, Region] = {}
+        for r in iface:
+            rep = self.find(r)
+            if rep.is_heap and not r.is_heap:
+                eq_atoms.append(RegionEq(r, HEAP).normalized())
+            if rep in canon_of:
+                if canon_of[rep] != r:
+                    eq_atoms.append(RegionEq(canon_of[rep], r).normalized())
+            else:
+                canon_of[rep] = r
+        # Outlives among distinct interface classes.
+        chosen = list(canon_of.values())
+        pairs: Set[Tuple[Region, Region]] = set()
+        for a in chosen:
+            for b in chosen:
+                if a == b or a.is_heap:
+                    continue
+                if self.find(a) != self.find(b) and self.reachable(a, b):
+                    pairs.add((a, b))
+        if transitive_reduce:
+            pairs = _transitive_reduction(pairs)
+        out_atoms: List[Atom] = [Outlives(a, b) for (a, b) in pairs]
+        return Constraint.of(*eq_atoms, *out_atoms)
+
+    def copy(self) -> "RegionSolver":
+        """An independent copy (used for what-if entailment tests)."""
+        dup = RegionSolver()
+        dup._parent = dict(self._parent)
+        dup._succ = {k: set(v) for k, v in self._succ.items()}
+        dup._pred = {k: set(v) for k, v in self._pred.items()}
+        dup._closed = self._closed
+        return dup
+
+
+def _transitive_reduction(
+    pairs: Set[Tuple[Region, Region]]
+) -> Set[Tuple[Region, Region]]:
+    """Remove pairs implied by the transitive closure of the others.
+
+    The input is closed (it came from reachability queries), so ``(a, c)``
+    is redundant iff some ``b`` distinct from both has ``(a, b)`` and
+    ``(b, c)`` present.
+    """
+    succ: Dict[Region, Set[Region]] = {}
+    for a, b in pairs:
+        succ.setdefault(a, set()).add(b)
+    reduced = set()
+    for a, c in pairs:
+        redundant = any(
+            b != a and b != c and c in succ.get(b, ())
+            for b in succ.get(a, ())
+        )
+        if not redundant:
+            reduced.add((a, c))
+    return reduced
+
+
+# -- module-level conveniences ----------------------------------------------------
+
+
+def solve(constraint: Constraint) -> RegionSolver:
+    """Build and close a solver for ``constraint``."""
+    solver = RegionSolver(constraint)
+    solver.close()
+    return solver
+
+
+def entails(hypotheses: Constraint, conclusion: Constraint) -> bool:
+    """Does ``hypotheses`` entail ``conclusion``?  (both predicate-free)"""
+    return solve(hypotheses).entails(conclusion)
+
+
+def coalescing_substitution(
+    constraint: Constraint, preferred: Sequence[Region] = ()
+) -> RegionSubst:
+    """Substitution coalescing all provably-equal regions of ``constraint``."""
+    return solve(constraint).coalescing_substitution(preferred)

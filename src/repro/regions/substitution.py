@@ -1,0 +1,104 @@
+"""Region substitutions.
+
+A substitution maps region variables to region variables.  Substitutions are
+produced by the subtyping rules (equivariant instantiation), by method-call
+instantiation ([e-call] in Fig 3), and by the override conflict resolution of
+Sec 4.4 (whose ``ctr(rho)`` operation converts a substitution back into an
+equality constraint).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from .constraints import Constraint, Region, RegionEq
+
+__all__ = ["RegionSubst"]
+
+
+class RegionSubst:
+    """A finite map from region variables to regions.
+
+    Immutable in spirit: mutating helpers return ``self`` only from the
+    builder methods used during construction.  Application is defined on
+    regions, sequences of regions and constraints.
+    """
+
+    def __init__(self, mapping: Optional[Mapping[Region, Region]] = None):
+        self._map: Dict[Region, Region] = dict(mapping or {})
+
+    # -- construction ---------------------------------------------------------
+    @staticmethod
+    def identity() -> "RegionSubst":
+        return RegionSubst()
+
+    @staticmethod
+    def zip(domain: Sequence[Region], codomain: Sequence[Region]) -> "RegionSubst":
+        """Pointwise substitution ``[domain_i -> codomain_i]``.
+
+        Raises ``ValueError`` on length mismatch: region-arity errors are
+        always programming errors in the inference engine, never expected.
+        """
+        if len(domain) != len(codomain):
+            raise ValueError(
+                f"substitution arity mismatch: {len(domain)} formals vs "
+                f"{len(codomain)} actuals"
+            )
+        return RegionSubst(dict(zip(domain, codomain)))
+
+    def extended(self, src: Region, dst: Region) -> "RegionSubst":
+        """A copy of this substitution with one extra binding."""
+        m = dict(self._map)
+        m[src] = dst
+        return RegionSubst(m)
+
+    def compose(self, later: "RegionSubst") -> "RegionSubst":
+        """``(self ; later)``: apply ``self`` first, then ``later``."""
+        m: Dict[Region, Region] = {}
+        for k, v in self._map.items():
+            m[k] = later.apply(v)
+        for k, v in later._map.items():
+            m.setdefault(k, v)
+        return RegionSubst(m)
+
+    # -- queries -----------------------------------------------------------
+    def __contains__(self, region: Region) -> bool:
+        return region in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __iter__(self) -> Iterator[Tuple[Region, Region]]:
+        return iter(self._map.items())
+
+    def domain(self) -> Tuple[Region, ...]:
+        return tuple(self._map.keys())
+
+    def mapping(self) -> Dict[Region, Region]:
+        """A defensive copy of the underlying dict."""
+        return dict(self._map)
+
+    # -- application ----------------------------------------------------------
+    def apply(self, region: Region) -> Region:
+        """Apply to one region (identity outside the domain)."""
+        return self._map.get(region, region)
+
+    def apply_all(self, regions: Iterable[Region]) -> Tuple[Region, ...]:
+        return tuple(self.apply(r) for r in regions)
+
+    def apply_constraint(self, constraint: Constraint) -> Constraint:
+        return constraint.rename(self._map)
+
+    # -- conversions ------------------------------------------------------------
+    def as_equalities(self) -> Constraint:
+        """``ctr(rho)`` from Sec 4.4: the substitution as equality atoms.
+
+        For example ``ctr([r3a -> r3])`` is the constraint ``r3a = r3``.
+        """
+        return Constraint.of(*(RegionEq(k, v) for k, v in self._map.items()))
+
+    def __str__(self) -> str:
+        if not self._map:
+            return "[]"
+        inner = ", ".join(f"{k} -> {v}" for k, v in self._map.items())
+        return f"[{inner}]"

@@ -1,0 +1,45 @@
+"""Region-based runtime: allocator, interpreters, dangling oracle.
+
+This package is the reproduction's substitute for the paper's Titanium
+region allocator backend (see DESIGN.md).  It provides:
+
+* :mod:`repro.runtime.regions_rt` -- the region-stack allocator with the
+  space-usage statistics of Fig 8;
+* :mod:`repro.runtime.interp` -- the interpreter for region-annotated
+  programs (with a dynamic dangling-access oracle);
+* :mod:`repro.runtime.source_interp` -- a region-free interpreter for
+  source programs, used for bisimulation tests.
+"""
+
+from .interp import (
+    CastFailedError,
+    Interpreter,
+    NullAccessError,
+    RuntimeError_,
+    StepBudgetExceeded,
+)
+from .regions_rt import DanglingAccessError, RegionManager, RegionStats, RuntimeRegion
+from .source_interp import SourceInterpreter, value_snapshot
+from .values import NULL_VALUE, Obj, VBool, VInt, VNull, VObj, VOID_VALUE, Value
+
+__all__ = [
+    "CastFailedError",
+    "Interpreter",
+    "NullAccessError",
+    "RuntimeError_",
+    "StepBudgetExceeded",
+    "DanglingAccessError",
+    "RegionManager",
+    "RegionStats",
+    "RuntimeRegion",
+    "SourceInterpreter",
+    "value_snapshot",
+    "NULL_VALUE",
+    "Obj",
+    "VBool",
+    "VInt",
+    "VNull",
+    "VObj",
+    "VOID_VALUE",
+    "Value",
+]

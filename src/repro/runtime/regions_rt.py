@@ -1,0 +1,119 @@
+"""The region-stack allocator (the reproduction's stand-in for Titanium).
+
+A lexically scoped region stack: ``letreg`` pushes a region, leaving its
+scope pops and frees it in O(1) (all its objects die together).  The
+distinguished heap region is never freed.
+
+The manager tracks the statistics the paper's Fig 8 evaluation reports:
+
+* ``total_allocated``  -- cumulative bytes ever allocated;
+* ``peak_live``        -- high-water mark of simultaneously live bytes;
+* ``regions_created``  -- number of dynamic region creations.
+
+``space usage / total allocation`` = ``peak_live / total_allocated`` is the
+paper's space-reuse ratio (1.0 means no reuse at all).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["DanglingAccessError", "RuntimeRegion", "RegionManager", "RegionStats"]
+
+
+class DanglingAccessError(Exception):
+    """An access through a reference into a deleted region.
+
+    The paper's Theorem 1 implies this is *unreachable* for programs
+    produced by the inference engine; the runtime check is the dynamic
+    oracle the test suite uses to validate that claim.
+    """
+
+
+class RuntimeRegion:
+    """A dynamic region: a bump counter of bytes plus a liveness flag."""
+
+    __slots__ = ("name", "live", "bytes", "uid")
+
+    _ids = itertools.count(1)
+
+    def __init__(self, name: str):
+        self.name = name
+        self.live = True
+        self.bytes = 0
+        self.uid = next(RuntimeRegion._ids)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "live" if self.live else "dead"
+        return f"<region {self.name}#{self.uid} {state} {self.bytes}B>"
+
+
+@dataclass
+class RegionStats:
+    """Allocation statistics of one program run."""
+
+    total_allocated: int = 0
+    peak_live: int = 0
+    regions_created: int = 0
+    objects_allocated: int = 0
+
+    @property
+    def space_usage_ratio(self) -> float:
+        """peak live bytes / total allocated bytes (Fig 8's metric)."""
+        if self.total_allocated == 0:
+            return 0.0
+        return self.peak_live / self.total_allocated
+
+
+class RegionManager:
+    """Creates, fills and deletes regions; accumulates statistics."""
+
+    def __init__(self) -> None:
+        self.heap = RuntimeRegion("heap")
+        self._stack: List[RuntimeRegion] = []
+        self._live_bytes = 0
+        self.stats = RegionStats()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def push(self, name: str = "r") -> RuntimeRegion:
+        """Create a new youngest region (``letreg`` entry)."""
+        region = RuntimeRegion(name)
+        self._stack.append(region)
+        self.stats.regions_created += 1
+        return region
+
+    def pop(self, region: RuntimeRegion) -> None:
+        """Delete a region (``letreg`` exit).  Must be the youngest."""
+        if not self._stack or self._stack[-1] is not region:
+            raise RuntimeError(
+                f"region stack discipline violated: popping {region!r}"
+            )
+        self._stack.pop()
+        region.live = False
+        self._live_bytes -= region.bytes
+
+    # -- allocation ---------------------------------------------------------------
+    def allocate(self, region: RuntimeRegion, size: int) -> None:
+        """Account ``size`` bytes into ``region``."""
+        if not region.live:
+            raise DanglingAccessError(
+                f"allocation into deleted region {region.name}"
+            )
+        region.bytes += size
+        self._live_bytes += size
+        self.stats.total_allocated += size
+        self.stats.objects_allocated += 1
+        if self._live_bytes > self.stats.peak_live:
+            self.stats.peak_live = self._live_bytes
+
+    # -- queries --------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def check_live(self, region: Optional[RuntimeRegion], what: str) -> None:
+        """The dangling-access oracle."""
+        if region is not None and not region.live:
+            raise DanglingAccessError(f"{what} via deleted region {region.name}")

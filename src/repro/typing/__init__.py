@@ -1,0 +1,5 @@
+"""The normal (region-free) type system of Core-Java."""
+
+from .normal import NormalTypeChecker, NormalTypeError, check_program
+
+__all__ = ["NormalTypeChecker", "NormalTypeError", "check_program"]

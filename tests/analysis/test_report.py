@@ -1,0 +1,95 @@
+"""Tests for the inference reporting module."""
+
+import pytest
+
+from repro.analysis import AllocationKind, render_report, summarize
+from repro.core import SubtypingMode
+from tests.conftest import JOIN_SOURCE, PAIR_SOURCE, infer_and_check
+
+
+@pytest.fixture(scope="module")
+def pair_report():
+    return summarize(infer_and_check(PAIR_SOURCE, mode=SubtypingMode.OBJECT))
+
+
+class TestClassReports(object):
+    def test_pair_class(self, pair_report):
+        c = pair_report.class_named("Pair")
+        assert c.arity == 3
+        assert not c.recursive
+        assert c.invariant_atoms == 2  # r2 >= r1, r3 >= r1
+
+    def test_recursive_class_flagged(self):
+        report = summarize(infer_and_check(JOIN_SOURCE))
+        c = report.class_named("List")
+        assert c.recursive
+        assert c.arity == 3
+
+    def test_missing_class_raises(self, pair_report):
+        with pytest.raises(KeyError):
+            pair_report.class_named("Nope")
+
+
+class TestMethodReports(object):
+    def test_getfst(self, pair_report):
+        m = pair_report.method("Pair.getFst")
+        assert m.region_params == 1
+        assert m.pre_size == 1
+        assert m.pre_outlives == 1
+
+    def test_swap_has_equality(self, pair_report):
+        m = pair_report.method("Pair.swap")
+        assert m.region_params == 0
+        assert m.pre_equalities == 1
+
+    def test_clonerev_allocation_classified(self, pair_report):
+        m = pair_report.method("Pair.cloneRev")
+        assert len(m.allocations) == 1
+        kind = next(iter(m.allocations.values()))
+        # the clone escapes through the result: a formal region
+        assert kind == AllocationKind.FORMAL
+
+    def test_local_allocation_classified(self):
+        src = """
+        class Box extends Object { int v; }
+        int f() {
+          Box t = new Box(1);
+          t.v
+        }
+        """
+        report = summarize(infer_and_check(src))
+        m = report.method("f")
+        assert m.letregs == 1
+        assert m.local_allocations == 1
+
+    def test_missing_method_raises(self, pair_report):
+        with pytest.raises(KeyError):
+            pair_report.method("Pair.nope")
+
+
+class TestTotals(object):
+    def test_totals_aggregate(self, pair_report):
+        assert pair_report.total_region_params == sum(
+            m.region_params for m in pair_report.methods
+        )
+
+    def test_join_letreg_total(self):
+        report = summarize(infer_and_check(JOIN_SOURCE, mode=SubtypingMode.OBJECT))
+        assert report.total_letregs >= 1
+
+
+class TestRendering(object):
+    def test_render_contains_sections(self, pair_report):
+        text = render_report(pair_report)
+        assert "classes:" in text
+        assert "methods:" in text
+        assert "Pair.swap" in text
+        assert "totals:" in text
+
+    def test_render_mentions_allocations(self):
+        src = """
+        class Box extends Object { int v; }
+        int f() { Box t = new Box(1); t.v }
+        """
+        report = summarize(infer_and_check(src))
+        assert "letreg" in render_report(report)

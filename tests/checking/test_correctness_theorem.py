@@ -1,0 +1,92 @@
+"""Theorem 1 (Correctness): inference always yields well-region-typed
+programs.
+
+Exercised across the entire benchmark corpus x all subtyping modes x both
+downcast strategies, with the *independent* checker as oracle.
+"""
+
+import pytest
+
+from repro.bench import OLDEN_PROGRAMS, REGJAVA_PROGRAMS
+from repro.checking import check_target
+from repro.core import DowncastStrategy, InferenceConfig, SubtypingMode, infer_source
+
+_MODES = (SubtypingMode.NONE, SubtypingMode.OBJECT, SubtypingMode.FIELD)
+
+
+@pytest.mark.parametrize("mode", _MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("name", sorted(REGJAVA_PROGRAMS))
+def test_regjava_programs_well_typed(name, mode):
+    program = REGJAVA_PROGRAMS[name]
+    result = infer_source(program.source, InferenceConfig(mode=mode))
+    report = check_target(result.target, mode=mode.value)
+    assert report.ok, [str(i) for i in report.issues[:5]]
+
+
+@pytest.mark.parametrize("mode", _MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("name", sorted(OLDEN_PROGRAMS))
+def test_olden_programs_well_typed(name, mode):
+    program = OLDEN_PROGRAMS[name]
+    result = infer_source(program.source, InferenceConfig(mode=mode))
+    report = check_target(result.target, mode=mode.value)
+    assert report.ok, [str(i) for i in report.issues[:5]]
+
+
+@pytest.mark.parametrize(
+    "strategy",
+    (DowncastStrategy.PADDING, DowncastStrategy.FIRST_REGION),
+    ids=lambda s: s.value,
+)
+def test_downcast_heavy_program_well_typed(strategy):
+    src = """
+    class Shape extends Object { int kind; }
+    class Circle extends Shape { int radius; }
+    class Rect extends Shape { int w; int h; }
+    class Square extends Rect { int pad; }
+
+    int area(Shape s) {
+      if (s.kind == 0) {
+        Circle c = (Circle) s;
+        c.radius * c.radius * 3
+      } else {
+        if (s.kind == 2) {
+          Square q = (Square) s;
+          q.w * q.w
+        } else {
+          Rect r = (Rect) s;
+          r.w * r.h
+        }
+      }
+    }
+
+    int f(int which) {
+      Shape s = (Shape) null;
+      if (which == 0) { s = new Circle(0, 2); }
+      else {
+        if (which == 2) { s = new Square(2, 3, 3, 0); }
+        else { s = new Rect(1, 3, 4); }
+      }
+      area(s)
+    }
+    """
+    result = infer_source(src, InferenceConfig(downcast=strategy))
+    report = check_target(result.target, downcast=strategy.value)
+    assert report.ok, [str(i) for i in report.issues[:5]]
+
+
+def test_monomorphic_ablation_still_well_typed():
+    """Less precise is still sound: mono-recursion output checks too."""
+    from tests.conftest import JOIN_SOURCE
+
+    result = infer_source(
+        JOIN_SOURCE,
+        InferenceConfig(mode=SubtypingMode.OBJECT, polymorphic_recursion=False),
+    )
+    assert check_target(result.target, mode="object").ok
+
+
+def test_unlocalized_ablation_still_well_typed():
+    from tests.conftest import JOIN_SOURCE
+
+    result = infer_source(JOIN_SOURCE, InferenceConfig(localize_blocks=False))
+    assert check_target(result.target).ok

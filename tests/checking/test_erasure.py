@@ -1,0 +1,61 @@
+"""Tests for region erasure: erase(infer(P)) == P (up to elaboration)."""
+
+import pytest
+
+from repro.checking import erase_program
+from repro.frontend import parse_program
+from repro.lang.pretty import pretty_program
+from repro.typing import check_program
+from tests.conftest import JOIN_SOURCE, PAIR_SOURCE, infer_and_check
+
+
+def _normalised(program):
+    """Canonical text of an (elaborated) source program."""
+    check_program(program)  # idempotent elaboration
+    return pretty_program(program)
+
+
+@pytest.mark.parametrize(
+    "src",
+    [PAIR_SOURCE, JOIN_SOURCE],
+    ids=["pair", "join"],
+)
+def test_erasure_recovers_source(src):
+    original = parse_program(src)
+    check_program(original)  # elaborates implicit this / nulls in place
+    result = infer_and_check(src)
+    erased = erase_program(result.target)
+    assert _normalised(erased) == pretty_program(original)
+
+
+def test_erasure_drops_letreg():
+    src = """
+    class Box extends Object { int v; }
+    int f() {
+      Box t = new Box(1);
+      t.v
+    }
+    """
+    result = infer_and_check(src)
+    erased = erase_program(result.target)
+    text = pretty_program(erased)
+    assert "letreg" not in text
+    check_program(erased)
+
+
+def test_erased_program_is_well_normal_typed():
+    """The paper's Sec 4.1: |- P ~> P' implies |-N erase(P')."""
+    for src in (PAIR_SOURCE, JOIN_SOURCE):
+        result = infer_and_check(src)
+        check_program(erase_program(result.target))
+
+
+def test_erasure_preserves_labels():
+    from repro.core import infer_program
+
+    src = "class A { } A f() { new A() }"
+    program = parse_program(src)
+    label = program.statics[0].body.result.label
+    result = infer_program(program)
+    erased = erase_program(result.target)
+    assert erased.statics[0].body.result.label == label

@@ -1,0 +1,77 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import sys
+
+import pytest
+
+from repro.checking import check_target
+from repro.core import InferenceConfig, SubtypingMode, infer_source
+
+#: the Pair class of the paper's Fig 2(a)
+PAIR_SOURCE = """
+class Pair extends Object {
+  Object fst;
+  Object snd;
+  Object getFst() { fst }
+  void setSnd(Object o) { snd = o; }
+  Pair cloneRev() {
+    Pair tmp = new Pair(null, null);
+    tmp.fst = snd;
+    tmp.snd = fst;
+    tmp
+  }
+  void swap() { Object tmp = fst; fst = snd; snd = tmp; }
+}
+"""
+
+#: the List class of the paper's Fig 2(b)
+LIST_SOURCE = """
+class List extends Object {
+  Object value;
+  List next;
+  Object getValue() { value }
+  List getNext() { next }
+  void setNext(List o) { next = o; }
+}
+"""
+
+#: the recursive join of the paper's Fig 6
+JOIN_SOURCE = """
+class List extends Object {
+  Object value;
+  List next;
+  Object getValue() { value }
+  List getNext() { next }
+}
+bool isNull(List l) { l == (List) null }
+List join(List xs, List ys) {
+  if (isNull(xs)) {
+    if (isNull(ys)) { (List) null } else { join(ys, xs) }
+  } else {
+    Object x;
+    List res;
+    x = xs.getValue();
+    res = join(ys, xs.getNext());
+    new List(x, res)
+  }
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _deep_recursion():
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(400000)
+    yield
+    sys.setrecursionlimit(old)
+
+
+def infer_and_check(source, mode=SubtypingMode.FIELD, **config_kwargs):
+    """Infer annotations and require the checker to accept them."""
+    config = InferenceConfig(mode=mode, **config_kwargs)
+    result = infer_source(source, config)
+    report = check_target(
+        result.target, mode=mode.value, downcast=config.downcast.value
+    )
+    assert report.ok, [str(i) for i in report.issues[:5]]
+    return result

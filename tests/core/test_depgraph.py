@@ -1,0 +1,134 @@
+"""Unit tests for the global dependency graph (paper Sec 4.3)."""
+
+import pytest
+
+from repro.core.depgraph import DependencyGraph, classinv_node, method_node
+from repro.frontend import parse_program
+from repro.typing import check_program
+
+
+def graph(src):
+    program = parse_program(src)
+    table = check_program(program)
+    return DependencyGraph(program, table)
+
+
+def order_of(g):
+    """position of each method in the processing order."""
+    out = {}
+    for i, group in enumerate(g.method_sccs()):
+        for name in group:
+            out[name] = i
+    return out
+
+
+class TestCallEdges(object):
+    def test_callee_processed_first(self):
+        g = graph(
+            """
+            int callee() { 1 }
+            int caller() { callee() }
+            """
+        )
+        pos = order_of(g)
+        assert pos["callee"] < pos["caller"]
+
+    def test_instance_call_resolution(self):
+        g = graph(
+            """
+            class A { int x; int get() { x } }
+            int f(A a) { a.get() }
+            """
+        )
+        pos = order_of(g)
+        assert pos["A.get"] < pos["f"]
+
+    def test_call_through_field_read(self):
+        g = graph(
+            """
+            class A { int x; int get() { x } }
+            class Holder { A inner; }
+            int f(Holder h) { h.inner.get() }
+            """
+        )
+        pos = order_of(g)
+        assert pos["A.get"] < pos["f"]
+
+
+class TestRecursionSCCs(object):
+    def test_self_recursion_is_singleton_scc(self):
+        g = graph("int f(int n) { if (n == 0) { 0 } else { f(n - 1) } }")
+        assert ["f"] in g.method_sccs()
+
+    def test_mutual_recursion_grouped(self):
+        g = graph(
+            """
+            bool even(int n) { if (n == 0) { true } else { odd(n - 1) } }
+            bool odd(int n) { if (n == 0) { false } else { even(n - 1) } }
+            """
+        )
+        assert ["even", "odd"] in g.method_sccs()
+
+    def test_independent_methods_separate(self):
+        g = graph("int f() { 1 } int g() { 2 }")
+        sccs = g.method_sccs()
+        assert ["f"] in sccs and ["g"] in sccs
+
+
+class TestOverrideEdges(object):
+    SRC = """
+    class A extends Object { Object x; Object get() { x } }
+    class B extends A { Object y; Object get() { y } }
+    Object use(A a) { a.get() }
+    Object make() { use(new B(null, null)) }
+    """
+
+    def test_subclass_method_before_superclass_method(self):
+        g = graph(self.SRC)
+        pos = order_of(g)
+        assert pos["B.get"] < pos["A.get"]
+
+    def test_callers_after_both(self):
+        g = graph(self.SRC)
+        pos = order_of(g)
+        assert pos["use"] > pos["A.get"]
+        assert pos["use"] > pos["B.get"]
+
+    def test_classinv_edges_present(self):
+        g = graph(self.SRC)
+        deps = g.edges[classinv_node("B")]
+        assert method_node("B.get") in deps
+        assert method_node("A.get") in deps
+
+    def test_user_of_subclass_after_override_resolution(self):
+        g = graph(self.SRC)
+        # make allocates B, so it depends on classinv(B), which depends on
+        # the override pair's methods
+        assert classinv_node("B") in g.edges[method_node("make")]
+        pos = order_of(g)
+        assert pos["make"] > pos["B.get"]
+
+
+class TestUsesClassEdges(object):
+    def test_new_creates_dependency(self):
+        g = graph(
+            """
+            class A { Object x; }
+            A f() { new A(null) }
+            """
+        )
+        assert classinv_node("A") in g.edges[method_node("f")]
+
+    def test_own_class_exempt(self):
+        """A method of B never takes a classinv edge on B (cycle guard)."""
+        g = graph("class B { Object x; B self() { this } }")
+        assert classinv_node("B") not in g.edges[method_node("B.self")]
+
+    def test_local_decl_type_creates_dependency(self):
+        g = graph(
+            """
+            class A { Object x; }
+            int f() { A a = (A) null; 1 }
+            """
+        )
+        assert classinv_node("A") in g.edges[method_node("f")]

@@ -1,0 +1,175 @@
+"""Unit tests for class annotation and method schemes (paper Sec 3.1/3.3)."""
+
+import pytest
+
+from repro.core.schemes import ClassAnnotator, InferenceError
+from repro.frontend import parse_program
+from repro.regions import AbstractionEnv, RegionSolver
+from repro.typing import check_program
+
+
+def annotate(src):
+    program = parse_program(src)
+    table = check_program(program)
+    q = AbstractionEnv()
+    annotator = ClassAnnotator(table, q)
+    return annotator, annotator.annotate_all(), q, program
+
+
+class TestSimpleClasses(object):
+    def test_object_has_one_region(self):
+        _, annos, _, _ = annotate("class A { }")
+        assert annos["Object"].arity == 1
+
+    def test_class_without_fields(self):
+        _, annos, _, _ = annotate("class A { }")
+        assert annos["A"].arity == 1
+
+    def test_primitive_fields_need_no_regions(self):
+        _, annos, _, _ = annotate("class A { int x; bool b; }")
+        assert annos["A"].arity == 1
+
+    def test_object_field_adds_one_region(self):
+        _, annos, _, _ = annotate("class A { Object x; }")
+        assert annos["A"].arity == 2
+
+    def test_field_of_wider_class_adds_its_arity(self):
+        src = "class P { Object a; Object b; } class Q { P p; }"
+        _, annos, _, _ = annotate(src)
+        assert annos["P"].arity == 3
+        assert annos["Q"].arity == 1 + 3
+
+    def test_invariant_is_no_dangling(self):
+        _, annos, q, _ = annotate("class A { Object x; Object y; }")
+        anno = annos["A"]
+        solver = RegionSolver(q[anno.inv].body)
+        for r in anno.regions[1:]:
+            assert solver.entails_outlives(r, anno.regions[0])
+
+
+class TestSubclasses(object):
+    SRC = """
+    class A extends Object { Object x; }
+    class B extends A { Object y; }
+    """
+
+    def test_prefix_property(self):
+        _, annos, _, _ = annotate(self.SRC)
+        a, b = annos["A"], annos["B"]
+        assert b.super_prefix == a.arity
+        assert b.arity == a.arity + 1
+        assert b.super_regions == b.regions[: a.arity]
+
+    def test_subclass_invariant_strengthens(self):
+        _, annos, q, _ = annotate(self.SRC)
+        b = annos["B"]
+        a = annos["A"]
+        solver = RegionSolver(q[b.inv].body)
+        sup_inv = q[a.inv].instantiate(list(b.super_regions))
+        assert solver.entails(sup_inv)
+
+    def test_inherited_field_types_reexpressed(self):
+        src = self.SRC
+        annotator, annos, _, _ = annotate(src)
+        fields = dict(annotator.field_types("B"))
+        b = annos["B"]
+        # x (inherited) is typed over B's own prefix regions
+        assert set(fields["x"].regions) <= set(b.regions)
+
+
+class TestRecursiveClasses(object):
+    def test_rec_region_is_last(self):
+        _, annos, _, _ = annotate("class L { Object v; L next; }")
+        anno = annos["L"]
+        assert anno.rec_region == anno.regions[-1]
+
+    def test_recursive_field_annotation(self):
+        """next: L<rn, r2..rn> for L<r1, r2, .., rn> (Sec 3.1)."""
+        _, annos, _, _ = annotate("class L { Object v; L next; }")
+        anno = annos["L"]
+        nxt = anno.own_field_types["next"]
+        assert nxt.regions == (anno.rec_region,) + anno.regions[1:]
+
+    def test_two_recursive_fields_share_the_region(self):
+        _, annos, _, _ = annotate("class T { Object v; T left; T right; }")
+        anno = annos["T"]
+        left = anno.own_field_types["left"]
+        right = anno.own_field_types["right"]
+        assert left.regions == right.regions
+        assert left.regions[0] == anno.rec_region
+
+    def test_recursive_invariant_closed_form(self):
+        """inv.L entails r2 >= r3 (value outlives the recursive spine)."""
+        _, annos, q, _ = annotate("class L { Object v; L next; }")
+        anno = annos["L"]
+        r1, r2, r3 = anno.regions
+        solver = RegionSolver(q[anno.inv].body)
+        assert solver.entails_outlives(r2, r3)
+        assert solver.entails_outlives(r3, r1)
+
+
+class TestMutualRecursion(object):
+    SRC = """
+    class Node { int v; Kids kids; }
+    class Kids { Node item; Kids rest; }
+    """
+
+    def test_shared_tail(self):
+        _, annos, _, _ = annotate(self.SRC)
+        node, kids = annos["Node"], annos["Kids"]
+        assert node.regions[1:] == kids.regions[1:]
+        assert node.regions[0] != kids.regions[0]
+        assert node.rec_region == kids.rec_region
+
+    def test_recursive_field_arities_consistent(self):
+        _, annos, _, _ = annotate(self.SRC)
+        node, kids = annos["Node"], annos["Kids"]
+        assert len(node.own_field_types["kids"].regions) == kids.arity
+        assert len(kids.own_field_types["item"].regions) == node.arity
+
+    def test_invariants_close(self):
+        _, annos, q, _ = annotate(self.SRC)
+        for cn in ("Node", "Kids"):
+            assert q[annos[cn].inv].is_closed
+
+    def test_mutual_scc_with_non_object_super_rejected(self):
+        src = """
+        class Base { int x; }
+        class Node extends Base { Kids kids; }
+        class Kids { Node item; Kids rest; }
+        """
+        with pytest.raises(InferenceError):
+            annotate(src)
+
+
+class TestMethodSchemes(object):
+    def test_fresh_regions_per_param_and_result(self):
+        src = """
+        class L { Object v; L next; }
+        L dup(L a, L b) { a }
+        """
+        annotator, annos, _, program = annotate(src)
+        scheme = annotator.method_scheme(program.statics[0])
+        # two L params (3 regions each) + L result (3) = 9 method regions
+        assert len(scheme.region_params) == 9
+        assert len(set(scheme.region_params)) == 9
+
+    def test_instance_scheme_includes_class_regions(self):
+        src = "class L { Object v; L next; L self() { this } }"
+        annotator, annos, _, program = annotate(src)
+        method = program.classes[0].methods[0]
+        scheme = annotator.method_scheme(method)
+        assert scheme.class_regions == annos["L"].regions
+        assert len(scheme.abstraction_params) == 3 + 3
+
+    def test_primitive_params_need_no_regions(self):
+        src = "int f(int a, bool b) { a }"
+        annotator, _, _, program = annotate(src)
+        scheme = annotator.method_scheme(program.statics[0])
+        assert scheme.region_params == ()
+
+    def test_pre_name(self):
+        src = "class L { Object v; L self() { this } }"
+        annotator, _, _, program = annotate(src)
+        scheme = annotator.method_scheme(program.classes[0].methods[0])
+        assert scheme.pre == "pre.L.self"

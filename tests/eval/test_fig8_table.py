@@ -1,0 +1,69 @@
+"""Quick-mode regeneration of the Fig 8 table with shape assertions.
+
+The full-size measurement lives in ``benchmarks/``; this test keeps the
+table's qualitative content under ordinary ``pytest tests/`` so a
+regression in any column is caught fast.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import REGJAVA_PROGRAMS, fig8_rows, fig8_table
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {r.name: r for r in fig8_rows(quick=True)}
+
+
+class TestTableShape(object):
+    def test_all_programs_present(self, rows):
+        assert set(rows) == set(REGJAVA_PROGRAMS)
+
+    def test_inference_under_a_second(self, rows):
+        for r in rows.values():
+            assert r.inference_seconds < 1.0
+
+    def test_checking_under_a_second(self, rows):
+        for r in rows.values():
+            assert r.checking_seconds < 1.0
+
+    def test_annotation_lines_positive(self, rows):
+        for r in rows.values():
+            assert r.annotation_lines > 0
+
+    def test_no_reuse_rows(self, rows):
+        for name in ("sieve", "naive-life", "opt-life-dangling", "opt-life-stack"):
+            for mode in ("none", "object", "field"):
+                assert rows[name].ratios[mode] == pytest.approx(1.0), (name, mode)
+
+    def test_always_reuse_rows(self, rows):
+        for name in ("ackermann", "mandelbrot"):
+            for mode in ("none", "object", "field"):
+                assert rows[name].ratios[mode] < 0.8, (name, mode)
+
+    def test_reynolds3_crossover(self, rows):
+        r = rows["reynolds3"].ratios
+        assert r["none"] == pytest.approx(1.0)
+        assert r["object"] == pytest.approx(1.0)
+        assert r["field"] < r["none"]
+
+    def test_foosum_crossover(self, rows):
+        r = rows["foo-sum"].ratios
+        assert r["object"] < r["none"]
+        assert r["field"] == pytest.approx(r["object"], rel=0.3)
+
+    def test_dangling_row_diff(self, rows):
+        assert REGJAVA_PROGRAMS["opt-life-dangling"].paper.diff_vs_regjava == -1
+
+    def test_ratios_are_valid_fractions(self, rows):
+        for r in rows.values():
+            for ratio in r.ratios.values():
+                assert not math.isnan(ratio)
+                assert 0.0 < ratio <= 1.0 + 1e-9
+
+    def test_table_renders_all_rows(self, rows):
+        text = fig8_table(list(rows.values()))
+        for name in REGJAVA_PROGRAMS:
+            assert name in text

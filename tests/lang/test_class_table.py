@@ -1,0 +1,154 @@
+"""Unit tests for the class table (fieldlist / methlist / split / etc.)."""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.lang.class_table import ClassTable, ClassTableError
+from repro.lang import ast as S
+
+HIERARCHY = """
+class A extends Object {
+  int x;
+  int getX() { x }
+  int answer() { 41 }
+}
+class B extends A {
+  int y;
+  int answer() { 42 }
+  int getY() { y }
+}
+class C extends B { int z; }
+"""
+
+
+def table(src=HIERARCHY):
+    return ClassTable(parse_program(src))
+
+
+class TestHierarchy:
+    def test_ancestors(self):
+        t = table()
+        assert t.ancestors("C") == ("C", "B", "A", "Object")
+
+    def test_is_subclass_reflexive(self):
+        t = table()
+        assert t.is_subclass("B", "B")
+
+    def test_is_subclass_transitive(self):
+        t = table()
+        assert t.is_subclass("C", "A")
+        assert not t.is_subclass("A", "C")
+
+    def test_msst(self):
+        src = HIERARCHY + "class D extends A { int w; }"
+        t = table(src)
+        assert t.msst("C", "D") == "A"
+        assert t.msst("B", "C") == "B"
+        assert t.msst("A", "D") == "A"
+
+    def test_related(self):
+        src = HIERARCHY + "class D extends A { int w; }"
+        t = table(src)
+        assert t.related("C", "A")
+        assert not t.related("C", "D")
+
+    def test_strict_subclasses(self):
+        t = table()
+        assert set(t.strict_subclasses("A")) == {"B", "C"}
+
+    def test_unknown_superclass_rejected(self):
+        with pytest.raises(ClassTableError):
+            table("class A extends Missing { }")
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(ClassTableError):
+            table("class A { } class A { }")
+
+    def test_inheritance_cycle_rejected(self):
+        with pytest.raises(ClassTableError):
+            table("class A extends B { } class B extends A { }")
+
+
+class TestMembers:
+    def test_fieldlist_inherited_first(self):
+        t = table()
+        assert [f.name for f in t.fields("C")] == ["x", "y", "z"]
+
+    def test_lookup_field_finds_owner(self):
+        t = table()
+        decl, owner = t.lookup_field("C", "y")
+        assert owner == "B"
+
+    def test_lookup_field_missing(self):
+        t = table()
+        assert t.lookup_field("A", "nope") is None
+
+    def test_methlist_applies_overriding(self):
+        t = table()
+        methods = {m.name: owner for (m, owner) in t.methods("B")}
+        assert methods["answer"] == "B"
+        assert methods["getX"] == "A"
+
+    def test_lookup_method_most_derived(self):
+        t = table()
+        decl, owner = t.lookup_method("C", "answer")
+        assert owner == "B"
+
+    def test_override_pairs(self):
+        t = table()
+        assert ("B", "A", "answer") in t.override_pairs()
+
+    def test_field_shadowing_rejected(self):
+        with pytest.raises(ClassTableError):
+            table("class A { int x; } class B extends A { int x; }")
+
+    def test_override_signature_mismatch_rejected(self):
+        with pytest.raises(ClassTableError):
+            table(
+                "class A { int f() { 1 } } "
+                "class B extends A { bool f() { true } }"
+            )
+
+
+class TestRecursion:
+    def test_self_recursive_field(self):
+        t = table("class List { int v; List next; }")
+        nonrec, rec = t.split("List")
+        assert [f.name for f in nonrec] == ["v"]
+        assert [f.name for f in rec] == ["next"]
+
+    def test_mutually_recursive_fields(self):
+        src = """
+        class Node { int v; Kids kids; }
+        class Kids { Node item; Kids rest; }
+        """
+        t = table(src)
+        assert t.same_scc("Node", "Kids")
+        _, rec_node = t.split("Node")
+        assert [f.name for f in rec_node] == ["kids"]
+        _, rec_kids = t.split("Kids")
+        assert {f.name for f in rec_kids} == {"item", "rest"}
+
+    def test_non_recursive_class_reference(self):
+        src = "class A { int x; } class B { A a; }"
+        t = table(src)
+        assert not t.same_scc("A", "B")
+        nonrec, rec = t.split("B")
+        assert not rec
+
+    def test_is_rec_read_only_true(self):
+        src = """
+        class RList { int v; RList next; }
+        int len(RList l) { if (l == null) { 0 } else { 1 + len(l.next) } }
+        """
+        assert table(src).is_rec_read_only("RList")
+
+    def test_is_rec_read_only_false_on_assignment(self):
+        src = """
+        class List { int v; List next; }
+        void clobber(List l) { l.next = (List) null; }
+        """
+        assert not table(src).is_rec_read_only("List")
+
+    def test_is_rec_read_only_false_without_recursion(self):
+        assert not table("class A { int x; }").is_rec_read_only("A")

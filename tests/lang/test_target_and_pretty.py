@@ -1,0 +1,95 @@
+"""Unit tests for the target AST helpers and the pretty printers."""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.lang import ast as S
+from repro.lang import target as T
+from repro.lang.pretty import pretty_constraint, pretty_expr, pretty_program, pretty_target
+from repro.regions import Region, RegionSubst, outlives
+
+
+class TestTargetTypes:
+    def test_owner_region(self):
+        a, b = Region.fresh_many(2)
+        t = T.RClass("Pair", (a, b))
+        assert t.owner_region == a
+
+    def test_owner_region_requires_regions(self):
+        with pytest.raises(ValueError):
+            T.RClass("Pair", ()).owner_region
+
+    def test_type_regions_includes_padding(self):
+        a, b, p = Region.fresh_many(3)
+        t = T.RClass("A", (a, b), (p,))
+        assert set(T.type_regions(t)) == {a, b, p}
+
+    def test_subst_type(self):
+        a, b, c = Region.fresh_many(3)
+        t = T.RClass("A", (a, b))
+        out = T.subst_type(RegionSubst({a: c}), t)
+        assert out.regions == (c, b)
+
+    def test_prim_types_have_no_regions(self):
+        assert T.type_regions(T.R_INT) == ()
+
+    def test_str_with_padding(self):
+        a, b, p = Region.fresh_many(3)
+        t = T.RClass("A", (a, b), (p,))
+        assert str(t).startswith("A<")
+        assert "[" in str(t)
+
+
+class TestRenameExprRegions:
+    def test_renames_new_and_letreg(self):
+        a, b = Region.fresh_many(2)
+        new = T.TNew(class_name="A", regions=(a,), args=[], type=T.RClass("A", (a,)))
+        letreg = T.TLetreg(regions=(a,), body=new, type=new.type)
+        T.rename_expr_regions(letreg, RegionSubst({a: b}))
+        assert letreg.regions == (b,)
+        assert new.regions == (b,)
+        assert new.type.regions == (b,)
+
+    def test_renames_call_region_args(self):
+        a, b = Region.fresh_many(2)
+        call = T.TCall(method_name="f", region_args=(a,), type=T.R_VOID)
+        T.rename_expr_regions(call, RegionSubst({a: b}))
+        assert call.region_args == (b,)
+
+
+class TestSourcePretty:
+    def test_roundtrip_shapes(self):
+        src = """
+        class A extends Object {
+          int x;
+          int getX() { x }
+        }
+        int main(int n) { new A(n).getX() }
+        """
+        p = parse_program(src)
+        text = pretty_program(p)
+        p2 = parse_program(text)
+        assert [c.name for c in p2.classes] == ["A"]
+
+    def test_expr_rendering(self):
+        from repro.frontend import parse_expr
+
+        assert pretty_expr(parse_expr("a + b * c")) == "(a + (b * c))"
+        assert pretty_expr(parse_expr("x.f")) == "x.f"
+        assert pretty_expr(parse_expr("(B) x")) == "(B) x"
+
+
+class TestTargetPretty:
+    def test_renumbering_is_stable(self, request):
+        from tests.conftest import PAIR_SOURCE, infer_and_check
+
+        result = infer_and_check(PAIR_SOURCE)
+        t1 = pretty_target(result.target)
+        t2 = pretty_target(result.target)
+        assert t1 == t2
+        assert "r1" in t1
+
+    def test_constraint_rendering(self):
+        a, b = Region.fresh_many(2)
+        text = pretty_constraint(outlives(a, b))
+        assert ">=" in text

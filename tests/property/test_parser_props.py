@@ -1,0 +1,119 @@
+"""Property-based round-trip tests for the frontend.
+
+Generates random expressions / programs *as ASTs*, pretty-prints them, and
+reparses: the result must be structurally identical (modulo positions and
+allocation labels).  This pins the printer/parser pair far beyond the
+hand-written cases.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import parse_expr, parse_program
+from repro.lang import ast as S
+from repro.lang.pretty import pretty_expr, pretty_program
+
+_NAMES = ("a", "b", "c", "x", "y")
+_CLASSES = ("A", "B")
+_FIELDS = ("f", "g")
+
+
+def exprs(depth=3):
+    base = st.one_of(
+        st.integers(0, 999).map(S.IntLit),
+        st.booleans().map(S.BoolLit),
+        st.sampled_from(_NAMES).map(S.Var),
+        st.sampled_from(_CLASSES).map(lambda c: S.Null(c)),
+    )
+    if depth == 0:
+        return base
+    sub = exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(S.Binop, st.sampled_from(("+", "-", "*", "<", "==")), sub, sub),
+        st.builds(S.Unop, st.just("!"), st.builds(S.BoolLit, st.booleans())),
+        st.builds(
+            S.FieldRead, st.sampled_from(_NAMES).map(S.Var), st.sampled_from(_FIELDS)
+        ),
+        st.builds(
+            S.Call,
+            st.one_of(st.none(), st.sampled_from(_NAMES).map(S.Var)),
+            st.sampled_from(("m", "n")),
+            st.lists(sub, max_size=2),
+        ),
+        st.builds(S.New, st.sampled_from(_CLASSES), st.lists(sub, max_size=2)),
+        st.builds(S.Cast, st.sampled_from(_CLASSES), st.sampled_from(_NAMES).map(S.Var)),
+        st.builds(S.If, sub, sub, sub),
+    )
+
+
+def _shape(e):
+    """Structure of an expression, ignoring positions, labels and
+    singleton blocks (``{ e }`` is semantically ``e``; the printer braces
+    bare if-arms)."""
+    if isinstance(e, S.Block) and not e.stmts and e.result is not None:
+        return _shape(e.result)
+    if isinstance(e, S.Var):
+        return ("var", e.name)
+    if isinstance(e, S.IntLit):
+        return ("int", e.value)
+    if isinstance(e, S.BoolLit):
+        return ("bool", e.value)
+    if isinstance(e, S.Null):
+        return ("null", e.class_name)
+    if isinstance(e, S.FieldRead):
+        return ("field", _shape(e.receiver), e.field_name)
+    if isinstance(e, S.Assign):
+        return ("assign", _shape(e.lhs), _shape(e.rhs))
+    if isinstance(e, S.New):
+        return ("new", e.class_name, tuple(_shape(a) for a in e.args))
+    if isinstance(e, S.Call):
+        recv = _shape(e.receiver) if e.receiver is not None else None
+        return ("call", recv, e.method_name, tuple(_shape(a) for a in e.args))
+    if isinstance(e, S.Cast):
+        return ("cast", e.class_name, _shape(e.expr))
+    if isinstance(e, S.If):
+        return ("if", _shape(e.cond), _shape(e.then), _shape(e.els))
+    if isinstance(e, S.While):
+        return ("while", _shape(e.cond), _shape(e.body))
+    if isinstance(e, S.Binop):
+        return ("binop", e.op, _shape(e.left), _shape(e.right))
+    if isinstance(e, S.Unop):
+        return ("unop", e.op, _shape(e.operand))
+    if isinstance(e, S.Block):
+        items = []
+        for s in e.stmts:
+            if isinstance(s, S.LocalDecl):
+                init = _shape(s.init) if s.init is not None else None
+                items.append(("decl", str(s.decl_type), s.name, init))
+            else:
+                items.append(("stmt", _shape(s.expr)))
+        result = _shape(e.result) if e.result is not None else None
+        return ("block", tuple(items), result)
+    raise TypeError(e)
+
+
+@given(exprs())
+@settings(max_examples=300, deadline=None)
+def test_expr_roundtrip(e):
+    text = pretty_expr(e)
+    reparsed = parse_expr(text)
+    assert _shape(reparsed) == _shape(e)
+
+
+@st.composite
+def small_programs(draw):
+    n_fields = draw(st.integers(0, 2))
+    fields = [S.FieldDecl(S.INT, f"fld{i}") for i in range(n_fields)]
+    body = S.Block(stmts=[], result=draw(exprs(2)))
+    method = S.MethodDecl(S.INT, "m", [S.Param(S.INT, "a")], body)
+    cls = S.ClassDecl(name="A", fields=fields, methods=[])
+    return S.Program(classes=[cls], statics=[method])
+
+
+@given(small_programs())
+@settings(max_examples=100, deadline=None)
+def test_program_roundtrip(p):
+    text = pretty_program(p)
+    reparsed = parse_program(text)
+    assert len(reparsed.classes) == len(p.classes)
+    assert _shape(reparsed.statics[0].body) == _shape(p.statics[0].body)

@@ -1,0 +1,145 @@
+"""Property-based tests for the constraint solver (hypothesis).
+
+The solver implements the entailment relation of a preorder with a top
+element (heap); these properties pin down exactly that algebra.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regions import (
+    Constraint,
+    HEAP,
+    Outlives,
+    Region,
+    RegionEq,
+    RegionSolver,
+)
+
+#: a small universe of regions shared by each generated constraint
+N_REGIONS = 6
+
+
+@st.composite
+def constraints(draw, max_atoms=10):
+    regions = Region.fresh_many(N_REGIONS)
+    atoms = []
+    for _ in range(draw(st.integers(0, max_atoms))):
+        i = draw(st.integers(0, N_REGIONS - 1))
+        j = draw(st.integers(0, N_REGIONS - 1))
+        if draw(st.booleans()):
+            atoms.append(Outlives(regions[i], regions[j]))
+        else:
+            atoms.append(RegionEq(regions[i], regions[j]))
+    return regions, Constraint.of(*atoms)
+
+
+@given(constraints())
+@settings(max_examples=200, deadline=None)
+def test_entailment_is_reflexive(data):
+    regions, c = data
+    solver = RegionSolver(c)
+    for r in regions:
+        assert solver.entails_outlives(r, r)
+
+
+@given(constraints())
+@settings(max_examples=200, deadline=None)
+def test_every_given_atom_is_entailed(data):
+    regions, c = data
+    solver = RegionSolver(c)
+    assert solver.entails(c)
+
+
+@given(constraints())
+@settings(max_examples=200, deadline=None)
+def test_entailment_is_transitive(data):
+    regions, c = data
+    solver = RegionSolver(c)
+    for a in regions:
+        for b in regions:
+            for d in regions:
+                if solver.entails_outlives(a, b) and solver.entails_outlives(b, d):
+                    assert solver.entails_outlives(a, d)
+
+
+@given(constraints())
+@settings(max_examples=200, deadline=None)
+def test_mutual_outlives_is_equality(data):
+    regions, c = data
+    solver = RegionSolver(c)
+    for a in regions:
+        for b in regions:
+            both = solver.entails_outlives(a, b) and solver.entails_outlives(b, a)
+            assert both == solver.same_region(a, b)
+
+
+@given(constraints())
+@settings(max_examples=200, deadline=None)
+def test_heap_is_top(data):
+    regions, c = data
+    solver = RegionSolver(c)
+    for r in regions:
+        assert solver.entails_outlives(HEAP, r)
+
+
+@given(constraints())
+@settings(max_examples=100, deadline=None)
+def test_projection_is_sound_and_complete(data):
+    """project(C, I) entails exactly C's consequences over I."""
+    regions, c = data
+    solver = RegionSolver(c)
+    interface = regions[:3]
+    projected = solver.project(interface)
+    psolver = RegionSolver(projected)
+    for a in interface:
+        for b in interface:
+            assert psolver.entails_outlives(a, b) == solver.entails_outlives(a, b)
+
+
+@given(constraints())
+@settings(max_examples=100, deadline=None)
+def test_coalescing_substitution_preserves_entailment(data):
+    regions, c = data
+    solver = RegionSolver(c)
+    subst = solver.coalescing_substitution()
+    renamed = subst.apply_constraint(c)
+    rsolver = RegionSolver(renamed)
+    for a in regions:
+        for b in regions:
+            if solver.entails_outlives(a, b):
+                assert rsolver.entails_outlives(subst.apply(a), subst.apply(b))
+
+
+@given(constraints(), constraints())
+@settings(max_examples=100, deadline=None)
+def test_entailment_is_monotone_in_hypotheses(data1, data2):
+    regions1, c1 = data1
+    _, c2 = data2
+    weak = RegionSolver(c1)
+    # re-express c2 over c1's region universe to make strengthening real
+    strong = RegionSolver(c1)
+    strong.add_constraint(
+        Constraint.of(
+            *(
+                type(a)(regions1[i % N_REGIONS], regions1[(i + 1) % N_REGIONS])
+                for i, a in enumerate(c2.atoms)
+                if isinstance(a, (Outlives, RegionEq))
+            )
+        )
+    )
+    for a in regions1:
+        for b in regions1:
+            if weak.entails_outlives(a, b):
+                assert strong.entails_outlives(a, b)
+
+
+@given(constraints())
+@settings(max_examples=100, deadline=None)
+def test_upward_closure_is_exactly_reverse_reachability(data):
+    regions, c = data
+    solver = RegionSolver(c)
+    targets = regions[:2]
+    closure = solver.upward_closure(targets)
+    for r in regions:
+        expected = any(solver.entails_outlives(r, t) for t in targets)
+        assert (r in closure) == expected

@@ -1,0 +1,121 @@
+"""Unit tests for constraint abstractions and the Q environment."""
+
+import pytest
+
+from repro.regions import (
+    AbstractionEnv,
+    Constraint,
+    ConstraintAbstraction,
+    Outlives,
+    PredAtom,
+    Region,
+    TRUE,
+    entails,
+    inv_name,
+    outlives,
+    pre_name,
+)
+
+
+class TestNaming:
+    def test_inv_name(self):
+        assert inv_name("Pair") == "inv.Pair"
+
+    def test_pre_name_instance(self):
+        assert pre_name("Pair", "getFst") == "pre.Pair.getFst"
+
+    def test_pre_name_static(self):
+        assert pre_name(None, "join") == "pre.join"
+
+
+class TestAbstraction:
+    def test_instantiate_substitutes_params(self):
+        a, b = Region.fresh_many(2)
+        abstraction = ConstraintAbstraction("inv.C", (a, b), outlives(b, a))
+        x, y = Region.fresh_many(2)
+        inst = abstraction.instantiate([x, y])
+        assert Outlives(y, x) in inst.atoms
+
+    def test_instantiate_arity_check(self):
+        a = Region.fresh()
+        abstraction = ConstraintAbstraction("inv.C", (a,), TRUE)
+        with pytest.raises(ValueError):
+            abstraction.instantiate([])
+
+    def test_instantiate_freshens_locals(self):
+        a = Region.fresh()
+        local = Region.fresh()
+        abstraction = ConstraintAbstraction("pre.m", (a,), outlives(local, a))
+        x = Region.fresh()
+        i1 = abstraction.instantiate([x])
+        i2 = abstraction.instantiate([x])
+        locals1 = i1.regions() - {x}
+        locals2 = i2.regions() - {x}
+        assert locals1 and locals2 and not (locals1 & locals2)
+
+    def test_is_recursive(self):
+        a = Region.fresh()
+        rec = ConstraintAbstraction(
+            "pre.m", (a,), Constraint.of(PredAtom("pre.m", (a,)))
+        )
+        assert rec.is_recursive
+        assert not rec.is_closed
+
+    def test_strengthened(self):
+        a, b = Region.fresh_many(2)
+        abstraction = ConstraintAbstraction("inv.C", (a, b), TRUE)
+        stronger = abstraction.strengthened(outlives(b, a))
+        assert not stronger.body.is_true
+        assert abstraction.body.is_true  # original untouched
+
+
+class TestEnv:
+    def test_define_and_lookup(self):
+        env = AbstractionEnv()
+        a = Region.fresh()
+        env.define(ConstraintAbstraction("inv.C", (a,), TRUE))
+        assert "inv.C" in env
+        assert env["inv.C"].params == (a,)
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(KeyError):
+            AbstractionEnv()["nope"]
+
+    def test_strengthen_in_place(self):
+        env = AbstractionEnv()
+        a, b = Region.fresh_many(2)
+        env.define(ConstraintAbstraction("inv.C", (a, b), TRUE))
+        env.strengthen("inv.C", outlives(b, a))
+        assert Outlives(b, a) in env["inv.C"].body.atoms
+
+    def test_expand_single_level(self):
+        env = AbstractionEnv()
+        a, b = Region.fresh_many(2)
+        env.define(ConstraintAbstraction("inv.C", (a, b), outlives(b, a)))
+        x, y = Region.fresh_many(2)
+        expanded = env.expand(Constraint.of(PredAtom("inv.C", (x, y))))
+        assert entails(expanded, outlives(y, x))
+
+    def test_expand_nested(self):
+        env = AbstractionEnv()
+        a, b = Region.fresh_many(2)
+        env.define(ConstraintAbstraction("inv.D", (a,), TRUE))
+        env.define(
+            ConstraintAbstraction(
+                "inv.C", (a, b), outlives(b, a).with_atoms(PredAtom("inv.D", (b,)))
+            )
+        )
+        x, y = Region.fresh_many(2)
+        expanded = env.expand(Constraint.of(PredAtom("inv.C", (x, y))))
+        assert not expanded.pred_atoms()
+
+    def test_expand_diverges_on_unclosed_recursion(self):
+        env = AbstractionEnv()
+        a = Region.fresh()
+        env.define(
+            ConstraintAbstraction(
+                "pre.m", (a,), Constraint.of(PredAtom("pre.m", (a,)))
+            )
+        )
+        with pytest.raises(ValueError):
+            env.expand(Constraint.of(PredAtom("pre.m", (Region.fresh(),))))

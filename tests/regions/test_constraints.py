@@ -1,0 +1,156 @@
+"""Unit tests for regions, atoms and constraint conjunctions."""
+
+import pytest
+
+from repro.regions import (
+    Constraint,
+    HEAP,
+    NULL_REGION,
+    Outlives,
+    PredAtom,
+    Region,
+    RegionEq,
+    RegionNames,
+    TRUE,
+    outlives,
+    req,
+)
+
+
+class TestRegion:
+    def test_fresh_regions_are_distinct(self):
+        a, b = Region.fresh(), Region.fresh()
+        assert a != b
+        assert hash(a) != hash(b)
+
+    def test_fresh_many(self):
+        rs = Region.fresh_many(5)
+        assert len(set(rs)) == 5
+
+    def test_heap_is_distinguished(self):
+        assert HEAP.is_heap
+        assert not HEAP.is_null
+        assert not Region.fresh().is_heap
+
+    def test_null_region_is_distinguished(self):
+        assert NULL_REGION.is_null
+        assert not NULL_REGION.is_heap
+
+    def test_name_contains_uid(self):
+        r = Region.fresh("q")
+        assert str(r).startswith("q")
+
+    def test_watermark_orders_creation(self):
+        mark = Region.watermark()
+        newer = Region.fresh()
+        assert newer.uid > mark
+
+    def test_equality_is_by_uid_not_name(self):
+        a = Region.fresh("same")
+        b = Region.fresh("same")
+        assert a != b
+
+
+class TestAtoms:
+    def test_outlives_trivial_reflexive(self):
+        r = Region.fresh()
+        assert Outlives(r, r).is_trivial()
+
+    def test_outlives_trivial_heap_left(self):
+        r = Region.fresh()
+        assert Outlives(HEAP, r).is_trivial()
+        assert not Outlives(r, HEAP).is_trivial()
+
+    def test_outlives_trivial_null(self):
+        r = Region.fresh()
+        assert Outlives(r, NULL_REGION).is_trivial()
+        assert Outlives(NULL_REGION, r).is_trivial()
+
+    def test_eq_normalized_orders_by_uid(self):
+        a, b = Region.fresh(), Region.fresh()
+        assert RegionEq(b, a).normalized() == RegionEq(a, b)
+
+    def test_rename(self):
+        a, b, c = Region.fresh(), Region.fresh(), Region.fresh()
+        atom = Outlives(a, b).rename({a: c})
+        assert atom == Outlives(c, b)
+
+    def test_pred_atom_regions(self):
+        a, b = Region.fresh(), Region.fresh()
+        p = PredAtom("pre.m", (a, b))
+        assert p.regions() == frozenset({a, b})
+
+    def test_pred_atom_rename(self):
+        a, b, c = Region.fresh(), Region.fresh(), Region.fresh()
+        p = PredAtom("pre.m", (a, b)).rename({b: c})
+        assert p.args == (a, c)
+
+
+class TestConstraint:
+    def test_true_is_empty(self):
+        assert TRUE.is_true
+        assert len(TRUE) == 0
+
+    def test_of_drops_trivial_atoms(self):
+        r = Region.fresh()
+        c = Constraint.of(Outlives(r, r), Outlives(HEAP, r))
+        assert c.is_true
+
+    def test_conj(self):
+        a, b, c = Region.fresh_many(3)
+        combined = outlives(a, b) & outlives(b, c)
+        assert len(combined) == 2
+
+    def test_conj_with_true(self):
+        a, b = Region.fresh_many(2)
+        c = outlives(a, b)
+        assert (c & TRUE) == c
+        assert (TRUE & c) == c
+
+    def test_regions(self):
+        a, b, c = Region.fresh_many(3)
+        combined = outlives(a, b) & req(b, c)
+        assert combined.regions() == frozenset({a, b, c})
+
+    def test_rename_renormalises(self):
+        a, b = Region.fresh_many(2)
+        c = outlives(a, b).rename({a: b})
+        assert c.is_true  # b >= b dropped
+
+    def test_pred_atoms_separated(self):
+        a, b = Region.fresh_many(2)
+        c = outlives(a, b).with_atoms(PredAtom("p", (a,)))
+        assert len(c.pred_atoms()) == 1
+        assert len(c.base_atoms()) == 1
+
+    def test_without_preds(self):
+        a = Region.fresh()
+        c = Constraint.of(PredAtom("p", (a,)), PredAtom("q", (a,)))
+        assert c.without_preds(["p"]).pred_atoms()[0].name == "q"
+
+    def test_str_true(self):
+        assert str(TRUE) == "true"
+
+    def test_sorted_atoms_deterministic(self):
+        a, b, c = Region.fresh_many(3)
+        c1 = Constraint.of(Outlives(a, b), Outlives(b, c), RegionEq(a, c))
+        c2 = Constraint.of(RegionEq(a, c), Outlives(b, c), Outlives(a, b))
+        assert c1.sorted_atoms() == c2.sorted_atoms()
+
+    def test_all_combines(self):
+        a, b, c = Region.fresh_many(3)
+        combined = Constraint.all([outlives(a, b), outlives(b, c), TRUE])
+        assert len(combined) == 2
+
+
+class TestRegionNames:
+    def test_renumbers_in_first_use_order(self):
+        names = RegionNames()
+        a, b = Region.fresh_many(2)
+        assert names.name(b) == "r1"
+        assert names.name(a) == "r2"
+        assert names.name(b) == "r1"  # stable
+
+    def test_heap_keeps_its_name(self):
+        names = RegionNames()
+        assert names.name(HEAP) == "heap"

@@ -1,0 +1,204 @@
+"""Unit tests for the region-constraint solver."""
+
+import pytest
+
+from repro.regions import (
+    Constraint,
+    HEAP,
+    Outlives,
+    PredAtom,
+    Region,
+    RegionEq,
+    RegionSolver,
+    entails,
+    outlives,
+    req,
+    solve,
+)
+
+
+class TestEntailment:
+    def test_direct_edge(self):
+        a, b = Region.fresh_many(2)
+        solver = RegionSolver(outlives(a, b))
+        assert solver.entails_outlives(a, b)
+        assert not solver.entails_outlives(b, a)
+
+    def test_transitivity(self):
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver(outlives(a, b) & outlives(b, c))
+        assert solver.entails_outlives(a, c)
+
+    def test_reflexivity(self):
+        a = Region.fresh()
+        assert RegionSolver().entails_outlives(a, a)
+
+    def test_heap_outlives_everything(self):
+        a = Region.fresh()
+        assert RegionSolver().entails_outlives(HEAP, a)
+
+    def test_heap_only_outlived_by_heap(self):
+        a = Region.fresh()
+        solver = RegionSolver()
+        assert not solver.entails_outlives(a, HEAP)
+        solver.add_outlives(a, HEAP)  # forces a = heap
+        assert solver.entails_outlives(a, HEAP)
+        assert solver.same_region(a, HEAP)
+
+    def test_equality_gives_both_directions(self):
+        a, b = Region.fresh_many(2)
+        solver = RegionSolver(req(a, b))
+        assert solver.entails_outlives(a, b)
+        assert solver.entails_outlives(b, a)
+        assert solver.same_region(a, b)
+
+    def test_equality_merges_edges(self):
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver(req(a, b) & outlives(b, c))
+        assert solver.entails_outlives(a, c)
+
+    def test_entails_whole_constraint(self):
+        a, b, c = Region.fresh_many(3)
+        hyp = outlives(a, b) & outlives(b, c)
+        assert entails(hyp, outlives(a, c) & outlives(a, b))
+        assert not entails(hyp, outlives(c, a))
+
+    def test_failing_atoms(self):
+        a, b = Region.fresh_many(2)
+        solver = RegionSolver(outlives(a, b))
+        missing = solver.failing_atoms(outlives(b, a) & outlives(a, b))
+        assert missing == (Outlives(b, a),)
+
+    def test_pred_atom_rejected(self):
+        a = Region.fresh()
+        with pytest.raises(ValueError):
+            RegionSolver(Constraint.of(PredAtom("p", (a,))))
+
+
+class TestCycleCoalescing:
+    def test_two_cycle_becomes_equality(self):
+        a, b = Region.fresh_many(2)
+        solver = solve(outlives(a, b) & outlives(b, a))
+        assert solver.same_region(a, b)
+
+    def test_long_cycle(self):
+        rs = Region.fresh_many(6)
+        atoms = [Outlives(x, y) for x, y in zip(rs, rs[1:])]
+        atoms.append(Outlives(rs[-1], rs[0]))
+        solver = solve(Constraint.of(*atoms))
+        for r in rs[1:]:
+            assert solver.same_region(rs[0], r)
+
+    def test_paper_fig5_circular_structure(self):
+        """r2>=r1b, r1b>=r1, r1>=r2a, r2a>=r2 forces r1=r2=r1b=r2a."""
+        r1, r2, r1b, r2a = Region.fresh_many(4)
+        c = (
+            outlives(r2, r1b)
+            & outlives(r1b, r1)
+            & outlives(r1, r2a)
+            & outlives(r2a, r2)
+        )
+        solver = solve(c)
+        assert solver.same_region(r1, r2)
+        assert solver.same_region(r1, r1b)
+        assert solver.same_region(r1, r2a)
+
+    def test_cycle_through_separate_sccs(self):
+        a, b, c = Region.fresh_many(3)
+        solver = solve(outlives(a, b) & outlives(b, a) & outlives(b, c))
+        assert solver.same_region(a, b)
+        assert not solver.same_region(a, c)
+        assert solver.entails_outlives(a, c)
+
+
+class TestUpwardClosure:
+    def test_includes_targets(self):
+        a, b = Region.fresh_many(2)
+        solver = RegionSolver(outlives(a, b))
+        assert b in solver.upward_closure([b])
+
+    def test_includes_outliving_regions(self):
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver(outlives(a, b) & outlives(b, c))
+        closure = solver.upward_closure([c])
+        assert {a, b, c} <= closure
+
+    def test_excludes_outlived_regions(self):
+        a, b = Region.fresh_many(2)
+        solver = RegionSolver(outlives(a, b))
+        # nothing outlives a except a itself; b is merely outlived by a
+        assert b not in solver.upward_closure([a])
+        assert a in solver.upward_closure([a])
+
+    def test_equalities_included(self):
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver(req(a, b) & outlives(c, a))
+        closure = solver.upward_closure([b])
+        assert {a, b, c} <= closure
+
+
+class TestProjection:
+    def test_keeps_interface_consequences(self):
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver(outlives(a, b) & outlives(b, c))
+        projected = solver.project([a, c])
+        assert entails(projected, outlives(a, c))
+
+    def test_drops_local_regions(self):
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver(outlives(a, b) & outlives(b, c))
+        projected = solver.project([a, c])
+        assert b not in projected.regions()
+
+    def test_interface_equalities_surface(self):
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver(req(a, b) & req(b, c))
+        projected = solver.project([a, c])
+        assert entails(projected, req(a, c))
+
+    def test_transitive_reduction(self):
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver(outlives(a, b) & outlives(b, c))
+        projected = solver.project([a, b, c])
+        # a>=c is implied by a>=b, b>=c and should be reduced away
+        assert Outlives(a, c) not in projected.atoms
+        assert entails(projected, outlives(a, c))
+
+    def test_projection_no_spurious_facts(self):
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver(outlives(a, b))
+        projected = solver.project([a, c])
+        assert not entails(projected, outlives(a, c))
+        assert not entails(projected, outlives(c, a))
+
+
+class TestCoalescingSubstitution:
+    def test_prefers_preferred_regions(self):
+        a, b = Region.fresh_many(2)
+        solver = solve(req(a, b))
+        subst = solver.coalescing_substitution(preferred=[b])
+        assert subst.apply(a) == b
+        assert subst.apply(b) == b
+
+    def test_oldest_wins_without_preference(self):
+        a, b = Region.fresh_many(2)
+        solver = solve(req(a, b))
+        subst = solver.coalescing_substitution()
+        assert subst.apply(b) == a
+
+    def test_heap_always_canonical(self):
+        a = Region.fresh()
+        solver = RegionSolver()
+        solver.add_eq(a, HEAP)
+        subst = solver.coalescing_substitution(preferred=[a])
+        assert subst.apply(a) == HEAP
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        a, b = Region.fresh_many(2)
+        solver = RegionSolver(outlives(a, b))
+        dup = solver.copy()
+        dup.add_eq(a, b)
+        assert dup.same_region(a, b)
+        assert not solver.same_region(a, b)

@@ -1,0 +1,73 @@
+"""Unit tests for region substitutions."""
+
+import pytest
+
+from repro.regions import Constraint, Outlives, Region, RegionEq, RegionSubst, outlives
+
+
+class TestConstruction:
+    def test_zip(self):
+        a, b, c, d = Region.fresh_many(4)
+        s = RegionSubst.zip([a, b], [c, d])
+        assert s.apply(a) == c
+        assert s.apply(b) == d
+
+    def test_zip_arity_mismatch(self):
+        a, b, c = Region.fresh_many(3)
+        with pytest.raises(ValueError):
+            RegionSubst.zip([a, b], [c])
+
+    def test_identity(self):
+        a = Region.fresh()
+        assert RegionSubst.identity().apply(a) == a
+
+    def test_extended_does_not_mutate(self):
+        a, b = Region.fresh_many(2)
+        s = RegionSubst.identity()
+        s2 = s.extended(a, b)
+        assert a not in s
+        assert s2.apply(a) == b
+
+
+class TestApplication:
+    def test_apply_outside_domain_is_identity(self):
+        a, b, c = Region.fresh_many(3)
+        s = RegionSubst({a: b})
+        assert s.apply(c) == c
+
+    def test_apply_all(self):
+        a, b, c = Region.fresh_many(3)
+        s = RegionSubst({a: c})
+        assert s.apply_all([a, b]) == (c, b)
+
+    def test_apply_constraint(self):
+        a, b, c = Region.fresh_many(3)
+        s = RegionSubst({a: c})
+        out = s.apply_constraint(outlives(a, b))
+        assert Outlives(c, b) in out.atoms
+
+    def test_compose_applies_in_order(self):
+        a, b, c = Region.fresh_many(3)
+        s1 = RegionSubst({a: b})
+        s2 = RegionSubst({b: c})
+        composed = s1.compose(s2)
+        assert composed.apply(a) == c
+        assert composed.apply(b) == c
+
+
+class TestConversion:
+    def test_as_equalities_is_ctr(self):
+        """ctr([r3a -> r3]) = (r3a = r3), per Sec 4.4."""
+        r3a, r3 = Region.fresh_many(2)
+        c = RegionSubst({r3a: r3}).as_equalities()
+        assert RegionEq(r3a, r3).normalized() in c.atoms
+
+    def test_empty_as_equalities_is_true(self):
+        assert RegionSubst.identity().as_equalities().is_true
+
+    def test_mapping_is_defensive_copy(self):
+        a, b = Region.fresh_many(2)
+        s = RegionSubst({a: b})
+        m = s.mapping()
+        m.clear()
+        assert s.apply(a) == b

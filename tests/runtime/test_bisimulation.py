@@ -1,0 +1,69 @@
+"""Bisimulation: the inferred program's observable behaviour equals the
+source program's (paper Sec 4.5, "same observable behaviour through
+region erasure").
+
+The region interpreter runs the annotated target; the region-free source
+interpreter runs the original.  Results are compared structurally (value
+snapshots handle object graphs and cycles).
+"""
+
+import pytest
+
+from repro.bench import OLDEN_PROGRAMS, REGJAVA_PROGRAMS
+from repro.core import InferenceConfig, SubtypingMode, infer_program
+from repro.frontend import parse_program
+from repro.runtime import Interpreter, SourceInterpreter
+from repro.runtime.source_interp import value_snapshot
+
+_MODES = (SubtypingMode.NONE, SubtypingMode.OBJECT, SubtypingMode.FIELD)
+
+
+def _bisimulate(src, entry, args, mode=SubtypingMode.FIELD):
+    program = parse_program(src)
+    result = infer_program(program, InferenceConfig(mode=mode))
+    target_value = Interpreter(result.target).run_static(entry, list(args))
+    source_value = SourceInterpreter(parse_program(src)).run_static(
+        entry, list(args)
+    )
+    assert value_snapshot(target_value) == value_snapshot(source_value)
+    return target_value
+
+
+@pytest.mark.parametrize("name", sorted(REGJAVA_PROGRAMS))
+def test_regjava_bisimulation(name):
+    program = REGJAVA_PROGRAMS[name]
+    value = _bisimulate(program.source, program.entry, program.test_args)
+    if program.expected_test_result is not None:
+        assert value.value == program.expected_test_result
+
+
+@pytest.mark.parametrize("name", sorted(OLDEN_PROGRAMS))
+def test_olden_bisimulation(name):
+    program = OLDEN_PROGRAMS[name]
+    _bisimulate(program.source, program.entry, program.test_args)
+
+
+@pytest.mark.parametrize("mode", _MODES, ids=lambda m: m.value)
+def test_mode_does_not_change_behaviour(mode):
+    """Region subtyping affects placement, never values."""
+    program = REGJAVA_PROGRAMS["mergesort"]
+    _bisimulate(program.source, program.entry, (25,), mode=mode)
+
+
+def test_object_graph_snapshot():
+    src = """
+    class Pair extends Object { Object fst; Object snd; }
+    Pair f() {
+      Pair a = new Pair(null, null);
+      Pair b = new Pair(a, null);
+      a.snd = b;
+      b
+    }
+    """
+    _bisimulate(src, "f", ())
+
+
+def test_snapshot_detects_difference():
+    from repro.runtime import VInt
+
+    assert value_snapshot(VInt(1)) != value_snapshot(VInt(2))

@@ -1,0 +1,120 @@
+"""The no-dangling safety property, dynamically.
+
+Theorem 1's payoff: running any inferred program under the region
+interpreter never raises :class:`DanglingAccessError`.  Exercised over the
+benchmark corpus and over purpose-built stress programs whose *naive*
+region placements would dangle.
+"""
+
+import pytest
+
+from repro.bench import OLDEN_PROGRAMS, REGJAVA_PROGRAMS
+from repro.core import InferenceConfig, SubtypingMode, infer_source
+from repro.runtime import DanglingAccessError, Interpreter
+from repro.lang import target as T
+from repro.regions import Region
+
+_MODES = (SubtypingMode.NONE, SubtypingMode.OBJECT, SubtypingMode.FIELD)
+
+
+@pytest.mark.parametrize("mode", _MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("name", sorted(REGJAVA_PROGRAMS))
+def test_regjava_never_dangles(name, mode):
+    program = REGJAVA_PROGRAMS[name]
+    result = infer_source(program.source, InferenceConfig(mode=mode))
+    interp = Interpreter(result.target, check_dangling=True)
+    interp.run_static(program.entry, list(program.test_args))
+
+
+@pytest.mark.parametrize("name", sorted(OLDEN_PROGRAMS))
+def test_olden_never_dangles(name):
+    program = OLDEN_PROGRAMS[name]
+    result = infer_source(program.source, InferenceConfig())
+    interp = Interpreter(result.target, check_dangling=True)
+    interp.run_static(program.entry, list(program.test_args))
+
+
+class TestStressPrograms(object):
+    """Programs engineered to dangle under naive placement."""
+
+    def _run(self, src, entry, args=(), mode=SubtypingMode.FIELD):
+        result = infer_source(src, InferenceConfig(mode=mode))
+        interp = Interpreter(result.target, check_dangling=True)
+        return interp.run_static(entry, list(args))
+
+    def test_escaping_through_field(self):
+        src = """
+        class Box extends Object { Object item; }
+        Box smuggle() {
+          Box outer = new Box(null);
+          int i = 0;
+          while (i < 10) {
+            outer.item = new Object();
+            i = i + 1;
+          }
+          outer
+        }
+        int f() {
+          Box b = smuggle();
+          if (b.item == null) { 0 } else { 1 }
+        }
+        """
+        assert self._run(src, "f").value == 1
+
+    def test_escaping_through_deep_return(self):
+        src = """
+        class IntList extends Object { int value; IntList next; }
+        IntList depth(int n) {
+          if (n == 0) { new IntList(0, (IntList) null) }
+          else { new IntList(n, depth(n - 1)) }
+        }
+        int walk(IntList l) {
+          if (l == null) { 0 } else { l.value + walk(l.next) }
+        }
+        int f() { walk(depth(30)) }
+        """
+        assert self._run(src, "f").value == sum(range(31))
+
+    def test_alias_into_longer_lived_structure(self):
+        src = """
+        class Node extends Object { Object payload; Node next; }
+        Node weave(int n) {
+          Node head = new Node(null, (Node) null);
+          Node cur = head;
+          int i = 0;
+          while (i < n) {
+            Node fresh = new Node(new Object(), (Node) null);
+            cur.next = fresh;
+            cur = fresh;
+            i = i + 1;
+          }
+          head
+        }
+        int count(Node l) { if (l == null) { 0 } else { 1 + count(l.next) } }
+        int f() { count(weave(15)) }
+        """
+        assert self._run(src, "f").value == 16
+
+    def test_dangling_oracle_fires_on_corrupted_program(self):
+        """Sanity: the oracle is real -- a hand-corrupted placement that
+        frees escaping data does raise."""
+        src = """
+        class Box extends Object { int v; }
+        Box mk() { new Box(5) }
+        int f() {
+          Box b = mk();
+          b.v
+        }
+        """
+        result = infer_source(src, InferenceConfig())
+        mk = result.target.static_named("mk")
+        # wrap mk's body in a letreg and force the allocation into it,
+        # simulating an unsound "localise everything" transformation
+        bad = Region.fresh("bad")
+        for node in T.twalk(mk.body):
+            if isinstance(node, T.TNew):
+                node.regions = (bad,) + node.regions[1:]
+        mk.body = T.TLetreg(regions=(bad,), body=mk.body, type=mk.body.type)
+        interp = Interpreter(result.target, check_dangling=True)
+        with pytest.raises(DanglingAccessError):
+            interp.run_static("f")

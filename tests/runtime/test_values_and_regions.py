@@ -1,0 +1,92 @@
+"""Unit tests for runtime values and region statistics."""
+
+import pytest
+
+from repro.runtime import (
+    NULL_VALUE,
+    Obj,
+    RegionManager,
+    VBool,
+    VInt,
+    VNull,
+    VObj,
+    VOID_VALUE,
+)
+from repro.runtime.interp import _java_div, _same_value
+from repro.runtime.regions_rt import RegionStats
+
+
+class TestValues(object):
+    def test_int_equality(self):
+        assert VInt(3) == VInt(3)
+        assert VInt(3) != VInt(4)
+
+    def test_null_singleton_compares_equal(self):
+        assert _same_value(NULL_VALUE, VNull())
+
+    def test_object_identity(self):
+        a = Obj("A", {})
+        assert _same_value(VObj(a), VObj(a))
+        assert not _same_value(VObj(a), VObj(Obj("A", {})))
+
+    def test_cross_kind_never_equal(self):
+        assert not _same_value(VInt(0), VBool(False))
+        assert not _same_value(VInt(0), NULL_VALUE)
+
+    def test_object_size_model(self):
+        assert Obj("A", {}).size == 16
+        assert Obj("A", {"x": VInt(0), "y": VInt(0)}).size == 32
+
+    def test_value_strings(self):
+        assert str(VInt(5)) == "5"
+        assert str(VBool(True)) == "true"
+        assert str(NULL_VALUE) == "null"
+        assert str(VOID_VALUE) == "void"
+
+
+class TestJavaDiv(object):
+    @pytest.mark.parametrize(
+        "a,b,q",
+        [(7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3), (6, 3, 2), (-6, 3, -2)],
+    )
+    def test_truncates_toward_zero(self, a, b, q):
+        assert _java_div(a, b) == q
+
+    @pytest.mark.parametrize("a,b", [(7, 3), (-7, 3), (7, -3), (-7, -3)])
+    def test_mod_identity(self, a, b):
+        assert _java_div(a, b) * b + (a - b * _java_div(a, b)) == a
+
+
+class TestRegionStats(object):
+    def test_empty_ratio_is_zero(self):
+        assert RegionStats().space_usage_ratio == 0.0
+
+    def test_ratio(self):
+        s = RegionStats(total_allocated=200, peak_live=50)
+        assert s.space_usage_ratio == pytest.approx(0.25)
+
+    def test_manager_counts_regions(self):
+        mgr = RegionManager()
+        for _ in range(3):
+            r = mgr.push()
+            mgr.pop(r)
+        assert mgr.stats.regions_created == 3
+        assert mgr.depth == 0
+
+    def test_heap_always_live(self):
+        mgr = RegionManager()
+        mgr.allocate(mgr.heap, 100)
+        assert mgr.heap.live
+        assert mgr.stats.peak_live == 100
+
+    def test_nested_lifetimes(self):
+        mgr = RegionManager()
+        outer = mgr.push("outer")
+        mgr.allocate(outer, 10)
+        for _ in range(5):
+            inner = mgr.push("inner")
+            mgr.allocate(inner, 100)
+            mgr.pop(inner)
+        mgr.pop(outer)
+        assert mgr.stats.total_allocated == 510
+        assert mgr.stats.peak_live == 110

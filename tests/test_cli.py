@@ -1,0 +1,70 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+PROGRAM = """
+class Box extends Object { int v; }
+int main(int n) {
+  int i = 0;
+  int acc = 0;
+  while (i < n) {
+    Box t = new Box(i);
+    acc = acc + t.v;
+    i = i + 1;
+  }
+  acc
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "prog.cj"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestInfer(object):
+    def test_prints_annotated_program(self, source_file, capsys):
+        assert main(["infer", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "letreg" in out
+        assert "Box<" in out
+
+    def test_show_q(self, source_file, capsys):
+        assert main(["infer", source_file, "--show-q"]) == 0
+        out = capsys.readouterr().out
+        assert "inv.Box" in out
+
+    def test_mode_flag(self, source_file, capsys):
+        assert main(["infer", source_file, "--mode", "none"]) == 0
+
+
+class TestCheck(object):
+    def test_ok(self, source_file, capsys):
+        assert main(["check", source_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_all_modes(self, source_file):
+        for mode in ("none", "object", "field"):
+            assert main(["check", source_file, "--mode", mode]) == 0
+
+    def test_ablations(self, source_file):
+        assert main(["check", source_file, "--monomorphic"]) == 0
+        assert main(["check", source_file, "--no-letreg"]) == 0
+
+
+class TestRun(object):
+    def test_runs_and_reports_stats(self, source_file, capsys):
+        assert main(["run", source_file, "--args", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "result: 45" in out
+        assert "space-usage ratio" in out
+
+    def test_custom_entry(self, tmp_path, capsys):
+        path = tmp_path / "f.cj"
+        path.write_text("int double(int n) { 2 * n }")
+        assert main(["run", str(path), "--entry", "double", "--args", "21"]) == 0
+        assert "result: 42" in capsys.readouterr().out

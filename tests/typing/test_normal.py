@@ -1,0 +1,147 @@
+"""Unit tests for the normal (region-free) type system."""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.lang import ast as S
+from repro.typing import NormalTypeError, check_program
+
+
+def check(src):
+    return check_program(parse_program(src))
+
+
+class TestWellTyped:
+    def test_minimal_program(self):
+        check("class A { }")
+
+    def test_fields_and_methods(self):
+        check(
+            """
+            class Pair extends Object {
+              Object fst;
+              Object snd;
+              Object getFst() { fst }
+              void setSnd(Object o) { snd = o; }
+            }
+            """
+        )
+
+    def test_recursion(self):
+        check("int f(int n) { if (n == 0) { 0 } else { f(n - 1) } }")
+
+    def test_subsumption_in_assignment(self):
+        check(
+            """
+            class A { }
+            class B extends A { int x; }
+            void f() { A a = new B(0); }
+            """
+        )
+
+    def test_if_msst_merge(self):
+        check(
+            """
+            class A { }
+            class B extends A { int x; }
+            class C extends A { int y; }
+            A pick(bool b) { if (b) { new B(1) } else { new C(2) } }
+            """
+        )
+
+    def test_downcast_allowed(self):
+        check(
+            """
+            class A { }
+            class B extends A { int x; }
+            int f(A a) { ((B) a).x }
+            """
+        )
+
+    def test_null_resolved_from_declaration(self):
+        src = "class A { } void f() { A a = null; }"
+        program = parse_program(src)
+        check_program(program)
+        decl = program.statics[0].body.stmts[0]
+        assert isinstance(decl.init, S.Null)
+        assert decl.init.class_name == "A"
+
+    def test_null_resolved_from_equality(self):
+        src = "class A { } bool f(A a) { a == null }"
+        program = parse_program(src)
+        check_program(program)
+
+    def test_implicit_this_field(self):
+        src = """
+        class A {
+          int x;
+          int bump() { x = x + 1; x }
+        }
+        """
+        program = parse_program(src)
+        check_program(program)
+        # the bare `x` reads became this.x
+        body = program.classes[0].methods[0].body
+        assert isinstance(body.result, S.FieldRead)
+
+    def test_implicit_this_method_call(self):
+        check(
+            """
+            class A {
+              int one() { 1 }
+              int two() { one() + one() }
+            }
+            """
+        )
+
+    def test_local_shadows_field(self):
+        check(
+            """
+            class A {
+              int x;
+              int f() { int x = 5; x }
+            }
+            """
+        )
+
+    def test_void_return_accepts_any_body(self):
+        check("class A { } void f() { new A(); }")
+
+
+class TestIllTyped:
+    @pytest.mark.parametrize(
+        "src, fragment",
+        [
+            ("int f() { x }", "unbound"),
+            ("int f() { true }", "body has type bool"),
+            ("class A { } int f(A a) { a.nope }", "no field"),
+            ("class A { } int f(A a) { a.nope() }", "no method"),
+            ("class A { } void f() { new A(1); }", "field initialisers"),
+            ("int f(int x) { f(x, x) }", "arguments"),
+            ("int f(bool b) { b + 1 }", "needs int"),
+            ("int f(int x) { x && x }", "needs bool"),
+            ("void f() { if (1) { } else { } }", "must be bool"),
+            ("void f() { while (1) { } }", "must be bool"),
+            ("class A { } class B { } void f(A a) { B b = (B) a; }", "unrelated"),
+            ("class A { } bool f(A a, int i) { a == i }", "compare"),
+            ("void f() { null; }", "cannot determine the class"),
+            ("class A { } void f(Missing m) { }", "unknown class"),
+            ("int f(int x, int x) { x }", "duplicate parameter"),
+            ("void f() { void v = f(); }", "void"),
+            ("class A { } void f(A a) { A x = a = a; }", "has type void"),
+        ],
+    )
+    def test_rejected(self, src, fragment):
+        with pytest.raises(NormalTypeError) as exc:
+            check(src)
+        assert fragment.lower() in str(exc.value).lower()
+
+    def test_assign_subtype_direction(self):
+        with pytest.raises(NormalTypeError):
+            check(
+                """
+                class A { }
+                class B extends A { int x; }
+                void f(A a) { B b = a; }
+                """
+            )
