@@ -1,28 +1,51 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands:
+Commands (all built on the staged :mod:`repro.api` pipeline):
 
 * ``infer FILE``   -- infer region annotations and print the target program
 * ``check FILE``   -- infer, then verify with the region type checker
 * ``run FILE``     -- infer and execute a static entry point on the
   region-based interpreter, reporting space statistics
+* ``report FILE``  -- per-class/per-method inference statistics
 * ``fig8`` / ``fig9`` -- regenerate the paper's evaluation tables
 
+Every command accepts ``--format {text,json}``; JSON output carries the
+machine-readable diagnostics of :mod:`repro.api.diagnostics` (severity,
+stage, code, source span).  Errors render as ``file:line:col`` diagnostics
+on stderr and exit with code 2 (``check`` keeps exit code 1 for programs
+that infer but fail verification).
+
 Options: ``--mode {none,object,field}``, ``--downcast {padding,first-region,
-reject}``, ``--entry NAME``, ``--args N [N ...]``, ``--quick``.
+reject}``, ``--entry NAME``, ``--args N [N ...]``, ``--recursion-limit N``,
+``--quick``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from pathlib import Path
+from typing import Any, Dict, List, Optional
 
-from .bench import fig8_table, fig9_table
-from .checking import check_target
-from .core import DowncastStrategy, InferenceConfig, SubtypingMode, infer_source
+from .analysis import render_report, summarize
+from .api import Pipeline, Session, StageResult
+from .api.diagnostics import (
+    Diagnostic,
+    DiagnosticCode,
+    Severity,
+    from_exception,
+    render_diagnostics,
+)
+from .bench import fig8_rows, fig8_table, fig9_rows, fig9_table
+from .core import DowncastStrategy, InferenceConfig, SubtypingMode
 from .lang.pretty import pretty_target
-from .runtime import Interpreter
+
+#: exit codes: 0 ok, 1 verification failure, 2 error diagnostics
+EXIT_OK = 0
+EXIT_CHECK_FAILED = 1
+EXIT_ERROR = 2
 
 
 def _config(args: argparse.Namespace) -> InferenceConfig:
@@ -34,66 +57,204 @@ def _config(args: argparse.Namespace) -> InferenceConfig:
     )
 
 
-def _read(path: str) -> str:
-    return Path(path).read_text()
+def _emit(args: argparse.Namespace, payload: Dict[str, Any], text: str) -> None:
+    """Print ``text`` or the JSON payload, per ``--format``."""
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    elif text:
+        print(text)
 
 
-def cmd_infer(args: argparse.Namespace) -> int:
-    result = infer_source(_read(args.file), _config(args))
-    print(pretty_target(result.target))
-    if args.show_q:
-        print("// constraint abstractions:")
-        for abstraction in sorted(result.target.q, key=lambda a: a.name):
-            print(f"//   {abstraction}")
-    return 0
+def _fail(
+    args: argparse.Namespace, command: str, diagnostics: List[Diagnostic]
+) -> int:
+    """Render error diagnostics and return the error exit code."""
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "ok": False,
+                    "command": command,
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(render_diagnostics(diagnostics), file=sys.stderr)
+    return EXIT_ERROR
 
 
-def cmd_check(args: argparse.Namespace) -> int:
-    config = _config(args)
-    result = infer_source(_read(args.file), config)
-    report = check_target(
-        result.target, mode=config.mode.value, downcast=config.downcast.value
+def _pipeline(args: argparse.Namespace, session: Session) -> Pipeline:
+    source = Path(args.file).read_text()
+    return session.pipeline(
+        source,
+        _config(args),
+        filename=args.file,
+        collect=getattr(args, "collect", False),
     )
+
+
+def _stage_failure(results: List[StageResult]) -> Optional[List[Diagnostic]]:
+    """The diagnostics of the failing stage, or None if every stage passed."""
+    last = results[-1]
+    if last.ok:
+        return None
+    if last.diagnostics:
+        return last.diagnostics
+    return [
+        Diagnostic(
+            severity=Severity.ERROR,
+            stage=last.stage,
+            code=DiagnosticCode.INTERNAL,
+            message=f"stage {last.stage!r} failed without diagnostics",
+        )
+    ]
+
+
+# ---------------------------------------------------------------- commands
+def cmd_infer(args: argparse.Namespace, session: Session) -> int:
+    pipe = _pipeline(args, session)
+    results = pipe.run("infer")
+    failed = _stage_failure(results)
+    if failed is not None:
+        return _fail(args, "infer", failed)
+    result = results[-1].value
+    target_text = pretty_target(result.target)
+    q_lines = [str(a) for a in sorted(result.target.q, key=lambda a: a.name)]
+    payload = {
+        "ok": True,
+        "command": "infer",
+        "file": args.file,
+        "target": target_text,
+        "stats": {
+            "inference_seconds": result.elapsed,
+            "localized_regions": result.total_localized,
+            "stage_seconds": {r.stage: r.elapsed for r in results},
+            "cached_stages": [r.stage for r in results if r.cached],
+        },
+        "diagnostics": [],
+    }
+    if args.show_q:
+        payload["q"] = q_lines
+    text = target_text
+    if args.show_q:
+        text += "\n// constraint abstractions:\n" + "\n".join(
+            f"//   {line}" for line in q_lines
+        )
+    _emit(args, payload, text)
+    return EXIT_OK
+
+
+def cmd_check(args: argparse.Namespace, session: Session) -> int:
+    pipe = _pipeline(args, session)
+    results = pipe.run("verify")
+    last = results[-1]
+    if last.stage != "verify":
+        return _fail(args, "check", _stage_failure(results) or [])
+    report = last.value
+    payload = {
+        "ok": report.ok,
+        "command": "check",
+        "file": args.file,
+        "obligations": report.obligations,
+        "diagnostics": [d.to_dict() for d in last.diagnostics],
+    }
     if report.ok:
-        print(f"OK: {report.obligations} obligations discharged")
-        return 0
-    for issue in report.issues:
-        print(f"error: {issue}", file=sys.stderr)
-    return 1
+        _emit(args, payload, f"OK: {report.obligations} obligations discharged")
+        return EXIT_OK
+    if args.format == "json":
+        _emit(args, payload, "")
+    else:
+        print(render_diagnostics(last.diagnostics), file=sys.stderr)
+    return EXIT_CHECK_FAILED
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    sys.setrecursionlimit(400000)
-    result = infer_source(_read(args.file), _config(args))
-    interp = Interpreter(result.target)
-    value = interp.run_static(args.entry, args.args)
-    stats = interp.stats
-    print(f"result: {value}")
-    print(
+def cmd_run(args: argparse.Namespace, session: Session) -> int:
+    pipe = _pipeline(args, session)
+    result = pipe.execute(
+        args.entry, args.args, recursion_limit=args.recursion_limit
+    )
+    if not result.ok:
+        diags = result.diagnostics or pipe.diagnostics()
+        return _fail(args, "run", diags)
+    execution = result.value
+    stats = execution.stats
+    payload = {
+        "ok": True,
+        "command": "run",
+        "file": args.file,
+        **execution.to_dict(),
+        "diagnostics": [],
+    }
+    text = (
+        f"result: {execution.value}\n"
         f"allocation: {stats.objects_allocated} objects / "
         f"{stats.total_allocated} bytes; peak live {stats.peak_live} bytes; "
         f"{stats.regions_created} regions "
         f"(space-usage ratio {stats.space_usage_ratio:.3f})"
     )
-    return 0
+    _emit(args, payload, text)
+    return EXIT_OK
 
 
-def cmd_fig8(args: argparse.Namespace) -> int:
-    print(fig8_table(quick=args.quick))
-    return 0
+def cmd_report(args: argparse.Namespace, session: Session) -> int:
+    pipe = _pipeline(args, session)
+    results = pipe.run("infer")
+    failed = _stage_failure(results)
+    if failed is not None:
+        return _fail(args, "report", failed)
+    report = summarize(results[-1].value)
+    payload = {
+        "ok": True,
+        "command": "report",
+        "file": args.file,
+        "report": report.to_dict(),
+        "diagnostics": [],
+    }
+    _emit(args, payload, render_report(report))
+    return EXIT_OK
 
 
-def cmd_fig9(args: argparse.Namespace) -> int:
-    print(fig9_table())
-    return 0
+def cmd_fig8(args: argparse.Namespace, session: Session) -> int:
+    rows = fig8_rows(quick=args.quick, session=session)
+    payload = {
+        "ok": True,
+        "command": "fig8",
+        "rows": [r.as_dict() for r in rows],
+        "diagnostics": [],
+    }
+    _emit(args, payload, fig8_table(rows))
+    return EXIT_OK
 
 
+def cmd_fig9(args: argparse.Namespace, session: Session) -> int:
+    rows = fig9_rows(session=session)
+    payload = {
+        "ok": True,
+        "command": "fig9",
+        "rows": [r.as_dict() for r in rows],
+        "diagnostics": [],
+    }
+    _emit(args, payload, fig9_table(rows))
+    return EXIT_OK
+
+
+# ---------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Region inference for Core-Java (PLDI 2004 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def output(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--format",
+            choices=["text", "json"],
+            default="text",
+            help="output format (json carries structured diagnostics)",
+        )
 
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -118,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable letreg localisation (ablation)",
         )
+        p.add_argument(
+            "--collect",
+            action="store_true",
+            help="collect every top-level syntax error instead of stopping "
+            "at the first",
+        )
+        output(p)
 
     p_infer = sub.add_parser("infer", help="print the region-annotated program")
     p_infer.add_argument("file")
@@ -134,14 +302,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("file")
     p_run.add_argument("--entry", default="main", help="static method to run")
     p_run.add_argument("--args", nargs="*", type=int, default=[], help="int arguments")
+    p_run.add_argument(
+        "--recursion-limit",
+        type=int,
+        default=None,
+        help="Python stack depth ensured while the interpreter runs "
+        "(default: the interpreter's own generous limit)",
+    )
     common(p_run)
     p_run.set_defaults(func=cmd_run)
 
+    p_report = sub.add_parser(
+        "report", help="per-class/per-method inference statistics"
+    )
+    p_report.add_argument("file")
+    common(p_report)
+    p_report.set_defaults(func=cmd_report)
+
     p8 = sub.add_parser("fig8", help="regenerate the Fig 8 table")
     p8.add_argument("--quick", action="store_true")
+    output(p8)
     p8.set_defaults(func=cmd_fig8)
 
     p9 = sub.add_parser("fig9", help="regenerate the Fig 9 table")
+    output(p9)
     p9.set_defaults(func=cmd_fig9)
 
     return parser
@@ -149,7 +333,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    session = Session()
+    try:
+        return args.func(args, session)
+    except BrokenPipeError:
+        # downstream closed the pipe (`repro infer f | head`): not an error;
+        # swap stdout for devnull so the interpreter's exit flush stays quiet
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_OK
+    except Exception as err:  # noqa: BLE001 -- the CLI boundary
+        # Anything a command did not already adapt (unreadable files, an
+        # exception escaping the harness, ...) becomes one diagnostic.
+        stage = getattr(args, "command", None) or "cli"
+        diag = from_exception(err, stage=stage, file=getattr(args, "file", None))
+        return _fail(args, stage, [diag])
 
 
 if __name__ == "__main__":

@@ -11,7 +11,7 @@ tests that pin the engine's precision.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.infer import InferenceResult
 from ..lang import target as T
@@ -54,6 +54,17 @@ class MethodReport:
     def local_allocations(self) -> int:
         return sum(1 for k in self.allocations.values() if k == AllocationKind.LETREG)
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualified": self.qualified,
+            "region_params": self.region_params,
+            "pre_outlives": self.pre_outlives,
+            "pre_equalities": self.pre_equalities,
+            "pre_size": self.pre_size,
+            "letregs": self.letregs,
+            "allocations": dict(self.allocations),
+        }
+
 
 @dataclass
 class ClassReport:
@@ -63,6 +74,14 @@ class ClassReport:
     arity: int
     recursive: bool
     invariant_atoms: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "arity": self.arity,
+            "recursive": self.recursive,
+            "invariant_atoms": self.invariant_atoms,
+        }
 
 
 @dataclass
@@ -91,6 +110,17 @@ class ProgramReport:
             if c.name == name:
                 return c
         raise KeyError(f"no class report for {name!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready representation (backs ``repro report --format json``)."""
+        return {
+            "classes": [c.to_dict() for c in self.classes],
+            "methods": [m.to_dict() for m in self.methods],
+            "totals": {
+                "letregs": self.total_letregs,
+                "region_params": self.total_region_params,
+            },
+        }
 
 
 def _classify_allocation(

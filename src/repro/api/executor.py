@@ -1,0 +1,73 @@
+"""Execution results and the worker pool behind batch entry points.
+
+The pool is a thin, order-preserving wrapper over
+:class:`concurrent.futures.ThreadPoolExecutor`.  Threads are the right
+executor here: inference is pure Python (the GIL serialises the CPU work)
+but the pool still overlaps any I/O and — more importantly — gives
+:meth:`repro.api.Session.infer_many` a single, bounded place where
+multi-program workloads are scheduled, so swapping in a process pool later
+is a one-line change.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+
+_I = TypeVar("_I")
+_O = TypeVar("_O")
+
+__all__ = ["ExecutionResult", "default_workers", "map_ordered"]
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running an inferred program on the region runtime."""
+
+    entry: str
+    args: Sequence[int]
+    value: Any  # a runtime Value
+    stats: Any  # a RegionStats snapshot
+
+    def to_dict(self) -> Dict[str, Any]:
+        stats = self.stats
+        return {
+            "entry": self.entry,
+            "args": list(self.args),
+            "result": str(self.value),
+            "stats": {
+                "objects_allocated": stats.objects_allocated,
+                "total_allocated": stats.total_allocated,
+                "peak_live": stats.peak_live,
+                "regions_created": stats.regions_created,
+                "space_usage_ratio": stats.space_usage_ratio,
+            },
+        }
+
+
+def default_workers(n_items: int) -> int:
+    """A sensible pool size: bounded by the CPU count and the workload."""
+    return max(1, min(n_items, os.cpu_count() or 1, 8))
+
+
+def map_ordered(
+    fn: Callable[[_I], _O],
+    items: Sequence[_I],
+    *,
+    max_workers: Optional[int] = None,
+) -> List[_O]:
+    """Apply ``fn`` to every item on a worker pool, preserving input order.
+
+    The first exception raised by any worker propagates to the caller
+    (remaining work is still drained by the pool shutdown).  With zero or
+    one item, or ``max_workers=1``, runs inline — no pool, identical
+    semantics, easier tracebacks.
+    """
+    items = list(items)
+    workers = max_workers if max_workers is not None else default_workers(len(items))
+    if len(items) <= 1 or workers <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,252 @@
+"""Reusable inference sessions with artifact caching and batch entry points.
+
+A :class:`Session` is the long-lived engine object of the API: it owns a
+keyed artifact cache (source hash for the config-independent stages, source
+hash + config for inference results) so that
+
+* re-inferring an unmodified program is a cache hit end to end,
+* an ablation sweep (same program, several :class:`InferenceConfig`\\ s)
+  parses, normal-types and annotates classes exactly once, and
+* multi-program workloads go through :meth:`Session.infer_many`, which
+  schedules the batch on a worker pool and returns results in input order.
+
+Cache effectiveness is observable through :attr:`Session.stats`
+(per-stage hit/miss counters), which the microbenchmarks and tests assert
+against.  Sessions are thread-safe: the cache is lock-guarded, and two
+threads racing to build the same artifact at worst build it twice (both
+results are equivalent; one wins the cache slot).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..checking import CheckReport
+from ..core import InferenceConfig, InferenceResult
+from .executor import ExecutionResult, map_ordered
+from .pipeline import Pipeline, StageFailure, StageResult
+
+__all__ = ["Session", "SessionStats"]
+
+
+def _source_key(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class SessionStats:
+    """Per-stage cache hit/miss counters for one session."""
+
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, hit: bool) -> None:
+        bucket = self.hits if hit else self.misses
+        bucket[kind] = bucket.get(kind, 0) + 1
+
+    def hit_count(self, kind: Optional[str] = None) -> int:
+        if kind is not None:
+            return self.hits.get(kind, 0)
+        return sum(self.hits.values())
+
+    def miss_count(self, kind: Optional[str] = None) -> int:
+        if kind is not None:
+            return self.misses.get(kind, 0)
+        return sum(self.misses.values())
+
+    @property
+    def total_hits(self) -> int:
+        return self.hit_count()
+
+    @property
+    def total_misses(self) -> int:
+        return self.miss_count()
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        return {"hits": dict(self.hits), "misses": dict(self.misses)}
+
+    def __str__(self) -> str:
+        kinds = sorted(set(self.hits) | set(self.misses))
+        parts = [
+            f"{k}: {self.hits.get(k, 0)} hit(s) / {self.misses.get(k, 0)} miss(es)"
+            for k in kinds
+        ]
+        return "; ".join(parts) if parts else "no cache traffic"
+
+
+class _ArtifactStore:
+    """The keyed artifact cache a session injects into its pipelines."""
+
+    def __init__(self, stats: SessionStats):
+        self._data: Dict[Tuple[str, Hashable], Any] = {}
+        self._lock = threading.Lock()
+        self._stats = stats
+
+    def get_or_build(
+        self, kind: str, key: Hashable, builder: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        full_key = (kind, key)
+        with self._lock:
+            if full_key in self._data:
+                self._stats.record(kind, hit=True)
+                return self._data[full_key], True
+        value = builder()  # outside the lock: builds may be slow
+        with self._lock:
+            winner = self._data.setdefault(full_key, value)
+            self._stats.record(kind, hit=False)
+        return winner, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+class Session:
+    """A reusable, cache-backed handle on the whole inference flow.
+
+    ``config`` is the default :class:`InferenceConfig` for pipelines this
+    session creates; every entry point accepts a per-call override, which
+    is how ablation sweeps share one session (and therefore one parse and
+    one class annotation) across configurations.
+    """
+
+    def __init__(
+        self,
+        config: Optional[InferenceConfig] = None,
+        *,
+        max_workers: Optional[int] = None,
+    ):
+        self.config = config or InferenceConfig()
+        self.max_workers = max_workers
+        self.stats = SessionStats()
+        self._store = _ArtifactStore(self.stats)
+
+    # -- pipelines ---------------------------------------------------------
+    def pipeline(
+        self,
+        source: str,
+        config: Optional[InferenceConfig] = None,
+        *,
+        filename: Optional[str] = None,
+        collect: bool = False,
+    ) -> Pipeline:
+        """A staged pipeline for ``source`` sharing this session's cache."""
+        return Pipeline(
+            source,
+            config or self.config,
+            filename=filename,
+            collect=collect,
+            store=self._store,
+            source_key=_source_key(source),
+        )
+
+    # -- one-shot conveniences --------------------------------------------
+    def infer(
+        self, source: str, config: Optional[InferenceConfig] = None
+    ) -> InferenceResult:
+        """Infer ``source`` (cached); raises ``StageFailure`` on error."""
+        return self.pipeline(source, config).infer().unwrap()
+
+    def check(
+        self, source: str, config: Optional[InferenceConfig] = None
+    ) -> CheckReport:
+        """Infer and independently verify ``source`` (cached).
+
+        Always returns the :class:`CheckReport` when verification ran
+        (inspect ``report.ok``); raises :class:`StageFailure` when an
+        earlier stage (parse/typecheck/infer) failed and there is no
+        report to return.
+        """
+        pipe = self.pipeline(source, config)
+        stage = pipe.verify()
+        if stage.skipped:
+            raise StageFailure("verify", pipe.diagnostics())
+        return stage.value
+
+    def execute(
+        self,
+        source: str,
+        entry: str = "main",
+        args: Sequence[int] = (),
+        config: Optional[InferenceConfig] = None,
+        *,
+        recursion_limit: Optional[int] = None,
+    ) -> ExecutionResult:
+        """Infer ``source`` and run ``entry`` on the region runtime."""
+        return (
+            self.pipeline(source, config)
+            .execute(entry, args, recursion_limit=recursion_limit)
+            .unwrap()
+        )
+
+    # -- sweeps and batches ------------------------------------------------
+    def sweep(
+        self, source: str, configs: Sequence[InferenceConfig]
+    ) -> List[InferenceResult]:
+        """Infer one program under several configs, sharing the front half.
+
+        The parse/typecheck/annotate artifacts are computed on the first
+        config and are cache hits for every subsequent one — the ablation
+        workload the ROADMAP's benchmarks sweep.
+        """
+        return [self.infer(source, config) for config in configs]
+
+    def infer_many(
+        self,
+        sources: Sequence[str],
+        config: Optional[InferenceConfig] = None,
+        *,
+        max_workers: Optional[int] = None,
+    ) -> List[InferenceResult]:
+        """Batch inference over many programs on a worker pool.
+
+        Results are returned in input order regardless of completion
+        order; duplicate sources resolve to the same cached result.  The
+        first failing program raises its ``StageFailure`` (use
+        :meth:`run_many` for per-program stage results instead).
+        """
+        workers = max_workers if max_workers is not None else self.max_workers
+        return map_ordered(
+            lambda src: self.infer(src, config), sources, max_workers=workers
+        )
+
+    def run_many(
+        self,
+        sources: Sequence[str],
+        config: Optional[InferenceConfig] = None,
+        *,
+        until: str = "verify",
+        max_workers: Optional[int] = None,
+    ) -> List[List[StageResult]]:
+        """Batch :meth:`Pipeline.run` — never raises; per-program results."""
+        workers = max_workers if max_workers is not None else self.max_workers
+        return map_ordered(
+            lambda src: self.pipeline(src, config).run(until),
+            sources,
+            max_workers=workers,
+        )
+
+    # -- maintenance -------------------------------------------------------
+    def clear_cache(self) -> None:
+        """Drop every cached artifact (counters are preserved)."""
+        self._store.clear()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._store)

@@ -6,6 +6,13 @@
   region counts, side by side with the paper's reported numbers.
 * :func:`fig9_rows` / :func:`fig9_table` -- Olden inference times.
 
+The harness drives the staged :mod:`repro.api` pipeline through one shared
+:class:`~repro.api.Session`: the three per-program subtyping modes of Fig 8
+reuse one parse and one class annotation (only inference re-runs), and the
+Fig 9 suite goes through :meth:`Session.infer_many` as one batch.  Reported
+"inference seconds" are therefore pure engine time
+(:attr:`InferenceResult.elapsed`), not parse time.
+
 Absolute times and sizes differ from the paper (Python tree-walker vs GHC
 prototype, scaled inputs); the reproduction target is the *shape*: which
 programs reuse space, under which subtyping mode, and that inference stays
@@ -14,15 +21,12 @@ well under a second per program.
 
 from __future__ import annotations
 
-import sys
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..checking import check_target
-from ..core import InferenceConfig, SubtypingMode, infer_source
+from ..api import Session
+from ..core import InferenceConfig, SubtypingMode
 from ..lang.pretty import pretty_target
-from ..runtime import Interpreter
 from .olden import OLDEN_PROGRAMS, OldenProgram
 from .regjava import REGJAVA_PROGRAMS, BenchmarkProgram
 
@@ -39,9 +43,6 @@ __all__ = [
 ]
 
 MODES = (SubtypingMode.NONE, SubtypingMode.OBJECT, SubtypingMode.FIELD)
-
-#: recursion headroom for the deeper benchmark runs
-_RECURSION_LIMIT = 400000
 
 
 def count_annotation_lines(target_text: str) -> int:
@@ -71,6 +72,27 @@ class Fig8Row:
     localized: Dict[str, int] = field(default_factory=dict)  # mode -> letregs
     paper: Optional[object] = None
 
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-ready row (backs ``repro fig8 --format json``)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "source_lines": self.source_lines,
+            "annotation_lines": self.annotation_lines,
+            "inference_seconds": self.inference_seconds,
+            "checking_seconds": self.checking_seconds,
+            "input": self.input_label,
+            "space_ratios": dict(self.ratios),
+            "localized_regions": dict(self.localized),
+        }
+        if self.paper is not None:
+            out["paper"] = {
+                "ratio_no_sub": self.paper.ratio_no_sub,
+                "ratio_object_sub": self.paper.ratio_object_sub,
+                "ratio_field_sub": self.paper.ratio_field_sub,
+                "diff_vs_regjava": self.paper.diff_vs_regjava,
+            }
+        return out
+
 
 @dataclass
 class Fig9Row:
@@ -81,6 +103,22 @@ class Fig9Row:
     annotation_lines: int
     inference_seconds: float
     paper: Optional[object] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-ready row (backs ``repro fig9 --format json``)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "source_lines": self.source_lines,
+            "annotation_lines": self.annotation_lines,
+            "inference_seconds": self.inference_seconds,
+        }
+        if self.paper is not None:
+            out["paper"] = {
+                "source_lines": self.paper.source_lines,
+                "annotation_lines": self.paper.annotation_lines,
+                "inference_seconds": self.paper.inference_seconds,
+            }
+        return out
 
 
 def _source_lines(text: str) -> int:
@@ -97,37 +135,46 @@ def measure_program(
     *,
     run: bool = True,
     args: Optional[Sequence[int]] = None,
+    session: Optional[Session] = None,
 ) -> Tuple[float, float, float, int, int]:
-    """(inference s, checking s, space ratio, letregs, annotation lines)."""
-    t0 = time.perf_counter()
-    result = infer_source(program.source, InferenceConfig(mode=mode))
-    t_inf = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    report = check_target(result.target, mode=mode.value)
-    t_chk = time.perf_counter() - t0
+    """(inference s, checking s, space ratio, letregs, annotation lines).
+
+    With a shared ``session``, only the first mode measured for a program
+    pays for parsing and class annotation; inference and checking always
+    run (and are timed) per mode.
+    """
+    session = session or Session()
+    pipe = session.pipeline(program.source, InferenceConfig(mode=mode))
+    infer_stage = pipe.infer()
+    result = infer_stage.unwrap()
+    t_inf = result.elapsed if infer_stage.cached else infer_stage.elapsed
+    verify_stage = pipe.verify()
+    report = verify_stage.value
     if not report.ok:
         raise AssertionError(
             f"{program.name} failed region checking under {mode.value}: "
             f"{report.issues[0]}"
         )
+    t_chk = verify_stage.elapsed
     ann = count_annotation_lines(pretty_target(result.target))
     ratio = float("nan")
     if run:
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(_RECURSION_LIMIT)
-        try:
-            interp = Interpreter(result.target)
-            interp.run_static(program.entry, list(args or program.run_args))
-            ratio = interp.stats.space_usage_ratio
-        finally:
-            sys.setrecursionlimit(old_limit)
+        execution = pipe.execute(
+            program.entry, list(args or program.run_args)
+        ).unwrap()
+        ratio = execution.stats.space_usage_ratio
     return t_inf, t_chk, ratio, result.total_localized, ann
 
 
 def fig8_rows(
-    *, run: bool = True, quick: bool = False, names: Optional[Sequence[str]] = None
+    *,
+    run: bool = True,
+    quick: bool = False,
+    names: Optional[Sequence[str]] = None,
+    session: Optional[Session] = None,
 ) -> List[Fig8Row]:
     """Measure every RegJava program (or the named subset)."""
+    session = session or Session()
     rows: List[Fig8Row] = []
     for name, program in REGJAVA_PROGRAMS.items():
         if names is not None and name not in names:
@@ -144,7 +191,7 @@ def fig8_rows(
         )
         for mode in MODES:
             t_inf, t_chk, ratio, localized, ann = measure_program(
-                program, mode, run=run, args=args
+                program, mode, run=run, args=args, session=session
             )
             row.ratios[mode.value] = ratio
             row.localized[mode.value] = localized
@@ -156,16 +203,31 @@ def fig8_rows(
     return rows
 
 
-def fig9_rows(names: Optional[Sequence[str]] = None) -> List[Fig9Row]:
-    """Measure inference time for every Olden program."""
+def fig9_rows(
+    names: Optional[Sequence[str]] = None,
+    *,
+    session: Optional[Session] = None,
+    max_workers: Optional[int] = None,
+) -> List[Fig9Row]:
+    """Measure inference time for every Olden program.
+
+    The whole suite is inferred as one :meth:`Session.infer_many` batch;
+    each program's reported time is its engine time
+    (:attr:`InferenceResult.elapsed`), so the worker pool does not distort
+    per-program numbers.
+    """
+    session = session or Session()
+    selected = [
+        (name, program)
+        for name, program in OLDEN_PROGRAMS.items()
+        if names is None or name in names
+    ]
+    results = session.infer_many(
+        [program.source for _, program in selected], max_workers=max_workers
+    )
     rows: List[Fig9Row] = []
-    for name, program in OLDEN_PROGRAMS.items():
-        if names is not None and name not in names:
-            continue
-        t0 = time.perf_counter()
-        result = infer_source(program.source, InferenceConfig())
-        t_inf = time.perf_counter() - t0
-        report = check_target(result.target)
+    for (name, program), result in zip(selected, results):
+        report = session.check(program.source)
         if not report.ok:
             raise AssertionError(
                 f"{name} failed region checking: {report.issues[0]}"
@@ -175,7 +237,7 @@ def fig9_rows(names: Optional[Sequence[str]] = None) -> List[Fig9Row]:
                 name=name,
                 source_lines=_source_lines(program.source),
                 annotation_lines=count_annotation_lines(pretty_target(result.target)),
-                inference_seconds=t_inf,
+                inference_seconds=result.elapsed,
                 paper=program.paper,
             )
         )
@@ -218,9 +280,9 @@ def fig8_table(rows: Optional[List[Fig8Row]] = None, **kwargs) -> str:
     return "\n".join(out)
 
 
-def fig9_table(rows: Optional[List[Fig9Row]] = None) -> str:
+def fig9_table(rows: Optional[List[Fig9Row]] = None, **kwargs) -> str:
     """Render the Fig 9 comparison table (paper vs measured)."""
-    rows = rows if rows is not None else fig9_rows()
+    rows = rows if rows is not None else fig9_rows(**kwargs)
     out: List[str] = []
     out.append("Fig 9: Region inference times for the Olden benchmark programs")
     out.append(

@@ -12,6 +12,7 @@
 from .depgraph import DependencyGraph
 from .downcast import DowncastAnalysis, DowncastStrategy, PaddingPlan, analyse_downcasts
 from .infer import (
+    AnnotatedProgram,
     InferenceConfig,
     InferenceResult,
     RegionInference,
@@ -28,6 +29,7 @@ __all__ = [
     "DowncastStrategy",
     "PaddingPlan",
     "analyse_downcasts",
+    "AnnotatedProgram",
     "InferenceConfig",
     "InferenceResult",
     "RegionInference",

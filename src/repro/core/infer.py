@@ -67,6 +67,7 @@ from .schemes import (
 from .subtyping import SubtypingMode, subtype
 
 __all__ = [
+    "AnnotatedProgram",
     "InferenceConfig",
     "InferenceResult",
     "RegionInference",
@@ -95,6 +96,62 @@ class InferenceConfig:
     #: give every null literal the fictitious null region (the paper's
     #: Sec 8 extension): nulls then impose *no* lifetime constraints at all
     null_fictitious_regions: bool = False
+
+
+@dataclass
+class AnnotatedProgram:
+    """The config-independent front half of inference, ready for reuse.
+
+    Parsing, normal typing and class annotation do not depend on the
+    :class:`InferenceConfig`, so one :class:`AnnotatedProgram` can seed any
+    number of :class:`RegionInference` runs over the same source (ablation
+    sweeps, repeated queries).  Each run forks the abstraction environment
+    (:meth:`fork_env`), so per-run method preconditions never leak between
+    configurations; the class invariants and annotations are shared.
+    """
+
+    program: S.Program
+    table: ClassTable
+    q: AbstractionEnv
+    annotations: Dict[str, ClassAnnotation]
+    annotator: ClassAnnotator
+    #: lazily-built downcast padding plan (config-independent; only the
+    #: PADDING strategy consults it)
+    _plan: Optional[PaddingPlan] = None
+
+    @classmethod
+    def build(cls, program: S.Program) -> "AnnotatedProgram":
+        """Normal-type ``program`` and annotate every class."""
+        table = NormalTypeChecker(program).check()
+        return cls.from_table(program, table)
+
+    @classmethod
+    def from_table(cls, program: S.Program, table: ClassTable) -> "AnnotatedProgram":
+        """Annotate classes for an already normal-typed program."""
+        q = AbstractionEnv()
+        annotator = ClassAnnotator(table, q)
+        annotations = annotator.annotate_all()
+        return cls(
+            program=program,
+            table=table,
+            q=q,
+            annotations=annotations,
+            annotator=annotator,
+        )
+
+    def fork_env(self) -> AbstractionEnv:
+        """A private copy of ``Q`` holding the shared class invariants.
+
+        Abstractions are immutable values (``strengthen`` replaces entries),
+        so a shallow copy fully isolates one inference run from another.
+        """
+        return AbstractionEnv(iter(self.q))
+
+    def ensure_plan(self) -> PaddingPlan:
+        """The downcast padding plan, computed once per program."""
+        if self._plan is None:
+            self._plan = DowncastAnalysis(self.program, self.table).build_plan()
+        return self._plan
 
 
 @dataclass
@@ -138,16 +195,32 @@ class _Ctx:
 class RegionInference:
     """Runs region inference on one program.  See the module docstring."""
 
-    def __init__(self, program: S.Program, config: Optional[InferenceConfig] = None):
+    def __init__(
+        self,
+        program: S.Program,
+        config: Optional[InferenceConfig] = None,
+        *,
+        prepared: Optional[AnnotatedProgram] = None,
+    ):
+        """``prepared`` injects the config-independent front half.
+
+        When given (typically by a :class:`repro.api.Session` cache), normal
+        typing, class annotation and the downcast plan are reused instead of
+        recomputed; this run works on a forked abstraction environment so
+        its method preconditions stay private.
+        """
         self.program = program
         self.config = config or InferenceConfig()
-        checker = NormalTypeChecker(program)
-        self.table = checker.check()
-        self.q = AbstractionEnv()
-        self.annotator = ClassAnnotator(self.table, self.q)
-        self.annotations = self.annotator.annotate_all()
+        if prepared is None:
+            prepared = AnnotatedProgram.build(program)
+            self.q = prepared.q
+        else:
+            self.q = prepared.fork_env()
+        self.table = prepared.table
+        self.annotator = prepared.annotator
+        self.annotations = prepared.annotations
         if self.config.downcast is DowncastStrategy.PADDING:
-            self.plan = DowncastAnalysis(program, self.table).build_plan()
+            self.plan = prepared.ensure_plan()
         else:
             self.plan = PaddingPlan()
         self.schemes: Dict[str, MethodScheme] = {}
@@ -938,10 +1011,13 @@ class RegionInference:
 
 
 def infer_program(
-    program: S.Program, config: Optional[InferenceConfig] = None
+    program: S.Program,
+    config: Optional[InferenceConfig] = None,
+    *,
+    prepared: Optional[AnnotatedProgram] = None,
 ) -> InferenceResult:
     """Infer region annotations for a parsed program."""
-    return RegionInference(program, config).infer()
+    return RegionInference(program, config, prepared=prepared).infer()
 
 
 def infer_source(

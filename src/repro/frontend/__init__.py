@@ -2,7 +2,13 @@
 
 from .lexer import LexError, Token, tokenize
 from .loops import clone_expr, convert_loops, free_vars
-from .parser import ParseError, Parser, parse_expr, parse_program
+from .parser import (
+    ParseError,
+    Parser,
+    parse_expr,
+    parse_program,
+    parse_program_tolerant,
+)
 
 __all__ = [
     "LexError",
@@ -12,6 +18,7 @@ __all__ = [
     "Parser",
     "parse_expr",
     "parse_program",
+    "parse_program_tolerant",
     "convert_loops",
     "clone_expr",
     "free_vars",

@@ -47,6 +47,7 @@ class LexError(Exception):
 
     def __init__(self, message: str, pos: Pos):
         super().__init__(f"{pos}: {message}")
+        self.msg = message
         self.pos = pos
 
 

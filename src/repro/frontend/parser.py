@@ -14,11 +14,19 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from typing import Union
+
 from ..lang import ast as S
 from ..lang.ast import Pos
-from .lexer import Token, tokenize
+from .lexer import LexError, Token, tokenize
 
-__all__ = ["ParseError", "Parser", "parse_program", "parse_expr"]
+__all__ = [
+    "ParseError",
+    "Parser",
+    "parse_program",
+    "parse_program_tolerant",
+    "parse_expr",
+]
 
 _PRIM_TYPES = {"int": S.INT, "bool": S.BOOL, "boolean": S.BOOL, "void": S.VOID}
 
@@ -31,6 +39,7 @@ class ParseError(Exception):
 
     def __init__(self, message: str, pos: Pos):
         super().__init__(f"{pos}: {message}")
+        self.msg = message
         self.pos = pos
 
 
@@ -90,15 +99,50 @@ class Parser:
         raise ParseError(f"expected a type, found {t}", t.pos)
 
     # -- program -----------------------------------------------------------------
-    def parse_program(self) -> S.Program:
+    def parse_program(self, errors: Optional[List[ParseError]] = None) -> S.Program:
+        """Parse a whole program.
+
+        With ``errors`` given, parsing becomes *tolerant*: a syntax error
+        inside one top-level declaration is recorded there, the parser
+        resynchronises at the next top-level declaration, and parsing
+        continues — callers get every diagnosable declaration instead of
+        dying on the first bad one.
+        """
         classes: List[S.ClassDecl] = []
         statics: List[S.MethodDecl] = []
         while self._peek().kind != "eof":
-            if self._peek().is_kw("class"):
-                classes.append(self._parse_class())
-            else:
-                statics.append(self._parse_method(static=True))
+            try:
+                if self._peek().is_kw("class"):
+                    classes.append(self._parse_class())
+                else:
+                    statics.append(self._parse_method(static=True))
+            except ParseError as err:
+                if errors is None:
+                    raise
+                errors.append(err)
+                self._sync_top_level()
         return S.Program(classes=classes, statics=statics)
+
+    def _sync_top_level(self) -> None:
+        """Skip past the offending declaration (balanced-brace heuristic).
+
+        Advances until the next ``class`` keyword at brace depth zero, or a
+        plausible top-level method header after a balanced close brace.
+        """
+        depth = 0
+        while self._peek().kind != "eof":
+            t = self._peek()
+            if t.is_op("{"):
+                depth += 1
+            elif t.is_op("}"):
+                depth = max(0, depth - 1)
+                self._next()
+                if depth == 0:
+                    return
+                continue
+            elif depth == 0 and t.is_kw("class"):
+                return
+            self._next()
 
     def _parse_class(self) -> S.ClassDecl:
         pos = self._expect_kw("class").pos
@@ -390,6 +434,26 @@ def parse_program(source: str) -> S.Program:
     """Parse a full Core-Java program from text."""
     parser = Parser(source)
     return parser.parse_program()
+
+
+def parse_program_tolerant(
+    source: str,
+) -> Tuple[S.Program, List[Union[ParseError, LexError]]]:
+    """Parse a full program, collecting errors instead of raising.
+
+    Returns the program built from every declaration that parsed, plus the
+    list of errors encountered (empty for valid input).  A lexical error
+    aborts tokenisation, so it yields an empty program with that single
+    :class:`LexError` — preserved as-is so diagnostic codes stay stable
+    between strict and tolerant parsing.
+    """
+    errors: List[Union[ParseError, LexError]] = []
+    try:
+        parser = Parser(source)
+    except LexError as err:
+        return S.Program(classes=[], statics=[]), [err]
+    program = parser.parse_program(errors)
+    return program, errors
 
 
 def parse_expr(source: str) -> S.Expr:

@@ -12,6 +12,7 @@ region allocator backend (see DESIGN.md).  It provides:
 """
 
 from .interp import (
+    DEFAULT_RECURSION_LIMIT,
     CastFailedError,
     Interpreter,
     NullAccessError,
@@ -23,6 +24,7 @@ from .source_interp import SourceInterpreter, value_snapshot
 from .values import NULL_VALUE, Obj, VBool, VInt, VNull, VObj, VOID_VALUE, Value
 
 __all__ = [
+    "DEFAULT_RECURSION_LIMIT",
     "CastFailedError",
     "Interpreter",
     "NullAccessError",

@@ -18,6 +18,8 @@ Allocation" column via ``Interpreter.manager.stats``.
 
 from __future__ import annotations
 
+import sys
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..checking.region_check import _TargetTable
@@ -36,12 +38,54 @@ from .values import (
 )
 
 __all__ = [
+    "DEFAULT_RECURSION_LIMIT",
     "RuntimeError_",
     "NullAccessError",
     "CastFailedError",
     "StepBudgetExceeded",
     "Interpreter",
 ]
+
+#: Python stack headroom the tree-walking evaluator needs for the deeper
+#: benchmark runs; every entry point raises the interpreter limit to this
+#: while it runs (library users get the same behaviour as the CLI).
+DEFAULT_RECURSION_LIMIT = 400_000
+
+
+class _RecursionHeadroom:
+    """Refcounted guard over the process-global recursion limit.
+
+    ``sys.setrecursionlimit`` is process state, and batch APIs run several
+    interpreters concurrently: a naive save/raise/restore pair would let
+    the first finisher clamp the limit back down underneath a still-running
+    sibling.  The guard raises the limit on first entry, never lowers it
+    while any run is active, and restores the original only when the last
+    active run exits.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._active = 0
+        self._saved: Optional[int] = None
+
+    def enter(self, limit: Optional[int]) -> None:
+        with self._lock:
+            current = sys.getrecursionlimit()
+            if self._active == 0:
+                self._saved = current
+            self._active += 1
+            if limit is not None and limit > current:
+                sys.setrecursionlimit(limit)
+
+    def exit(self) -> None:
+        with self._lock:
+            self._active -= 1
+            if self._active == 0 and self._saved is not None:
+                sys.setrecursionlimit(self._saved)
+                self._saved = None
+
+
+_HEADROOM = _RecursionHeadroom()
 
 
 class RuntimeError_(Exception):
@@ -83,12 +127,18 @@ class Interpreter:
         *,
         check_dangling: bool = True,
         step_budget: Optional[int] = None,
+        recursion_limit: Optional[int] = DEFAULT_RECURSION_LIMIT,
     ):
+        """``recursion_limit`` is the Python stack depth ensured while the
+        interpreter runs (the tree-walker recurses once per evaluated
+        node); pass ``None`` to leave the interpreter's limit untouched.
+        """
         self.program = program
         self.table = _TargetTable(program)
         self.manager = RegionManager()
         self.check_dangling = check_dangling
         self.step_budget = step_budget
+        self.recursion_limit = recursion_limit
         self._steps = 0
 
     # -- entry points ------------------------------------------------------------
@@ -102,6 +152,7 @@ class Interpreter:
         decl = self.table.statics.get(name)
         if decl is None:
             raise RuntimeError_(f"no static method {name!r}")
+        _HEADROOM.enter(self.recursion_limit)
         top = self.manager.push("main")
         try:
             regions = {r: top for r in decl.region_params}
@@ -112,6 +163,7 @@ class Interpreter:
             return self._eval(decl.body, frame)
         finally:
             self.manager.pop(top)
+            _HEADROOM.exit()
 
     @property
     def stats(self):

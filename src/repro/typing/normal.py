@@ -30,6 +30,7 @@ class NormalTypeError(Exception):
     def __init__(self, message: str, pos: Optional[S.Pos] = None):
         where = f"{pos}: " if pos is not None else ""
         super().__init__(f"{where}{message}")
+        self.msg = message
         self.pos = pos
 
 

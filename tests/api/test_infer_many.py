@@ -1,0 +1,85 @@
+"""Tests for batch inference: ordering, determinism, error handling."""
+
+import pytest
+
+from repro.api import Session, StageFailure
+from repro.checking import check_target
+
+#: ten distinguishable programs — main(n) returns n + i
+PROGRAMS = [
+    f"""
+class Box extends Object {{ int v; }}
+int main(int n) {{
+  Box b = new Box(n + {i});
+  b.v
+}}
+"""
+    for i in range(10)
+]
+
+BAD = "class Broken extends Object { int"
+
+
+def _fingerprint(result):
+    """Structural identity of an inference result, stable across runs.
+
+    Region uids come from a global counter, so textual output is not
+    comparable between executions; the structure (methods, their region
+    arities, letreg counts) is.
+    """
+    return {
+        qualified: (len(scheme.region_params), result.localized_regions[qualified])
+        for qualified, scheme in result.schemes.items()
+        if qualified in result.localized_regions
+    }
+
+
+class TestOrdering(object):
+    def test_results_in_input_order(self):
+        session = Session()
+        results = session.infer_many(PROGRAMS)
+        assert len(results) == len(PROGRAMS)
+        # run each program: result i must compute n + i
+        for i, result in enumerate(results):
+            execution = session.pipeline(PROGRAMS[i]).execute("main", [100])
+            assert str(execution.unwrap().value) == str(100 + i)
+            assert check_target(result.target).ok
+
+    def test_duplicates_resolve_to_the_cached_result(self):
+        session = Session()
+        results = session.infer_many([PROGRAMS[0]] * 4, max_workers=1)
+        assert all(r is results[0] for r in results)
+        assert session.stats.miss_count("infer") == 1
+        assert session.stats.hit_count("infer") == 3
+
+    def test_empty_batch(self):
+        assert Session().infer_many([]) == []
+
+
+class TestDeterminism(object):
+    def test_parallel_matches_sequential(self):
+        parallel = Session().infer_many(PROGRAMS, max_workers=4)
+        sequential = Session().infer_many(PROGRAMS, max_workers=1)
+        for p, s in zip(parallel, sequential):
+            assert _fingerprint(p) == _fingerprint(s)
+
+    def test_two_parallel_runs_agree(self):
+        a = Session().infer_many(PROGRAMS, max_workers=4)
+        b = Session().infer_many(PROGRAMS, max_workers=4)
+        for x, y in zip(a, b):
+            assert _fingerprint(x) == _fingerprint(y)
+
+
+class TestErrors(object):
+    def test_bad_program_raises_stage_failure(self):
+        session = Session()
+        with pytest.raises(StageFailure):
+            session.infer_many([PROGRAMS[0], BAD, PROGRAMS[1]])
+
+    def test_run_many_reports_per_program(self):
+        session = Session()
+        outcomes = session.run_many([PROGRAMS[0], BAD, PROGRAMS[1]])
+        assert [o[-1].ok for o in outcomes] == [True, False, True]
+        failed = outcomes[1][-1]
+        assert failed.stage == "parse"
+        assert failed.diagnostics[0].code == "parse-error"

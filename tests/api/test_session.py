@@ -1,0 +1,138 @@
+"""Tests for Session caching: hits/misses across config sweeps."""
+
+import pytest
+
+from repro.api import Session
+from repro.checking import check_target
+from repro.core import DowncastStrategy, InferenceConfig, SubtypingMode
+
+PROGRAM = """
+class List extends Object {
+  Object value;
+  List next;
+  Object getValue() { value }
+  List getNext() { next }
+}
+int length(List l) {
+  if (l == (List) null) { 0 } else { 1 + length(l.getNext()) }
+}
+int main(int n) {
+  int i = 0;
+  List l = (List) null;
+  while (i < n) { l = new List(null, l); i = i + 1; }
+  length(l)
+}
+"""
+
+OTHER = "int main(int n) { n * 2 }"
+
+#: the ablation sweep of the acceptance criterion: four configs, one program
+SWEEP = [
+    InferenceConfig(mode=SubtypingMode.NONE),
+    InferenceConfig(mode=SubtypingMode.OBJECT),
+    InferenceConfig(mode=SubtypingMode.FIELD),
+    InferenceConfig(mode=SubtypingMode.FIELD, localize_blocks=False),
+]
+
+
+class TestAblationSweep(object):
+    def test_front_half_computed_once(self):
+        session = Session()
+        results = session.sweep(PROGRAM, SWEEP)
+        assert len(results) == 4
+        # parsing and class annotation ran exactly once; the three later
+        # configs were pure cache hits on the config-independent stages
+        for stage in ("parse", "typecheck", "annotate"):
+            assert session.stats.miss_count(stage) == 1, session.stats.as_dict()
+            assert session.stats.hit_count(stage) == 3, session.stats.as_dict()
+        # inference itself is config-keyed: four distinct runs, no hits
+        assert session.stats.miss_count("infer") == 4
+        assert session.stats.hit_count("infer") == 0
+
+    def test_sweep_results_are_independently_sound(self):
+        session = Session()
+        for config, result in zip(SWEEP, session.sweep(PROGRAM, SWEEP)):
+            report = check_target(
+                result.target,
+                mode=config.mode.value,
+                downcast=config.downcast.value,
+            )
+            assert report.ok, [str(i) for i in report.issues[:3]]
+
+    def test_sweep_configs_do_not_leak_preconditions(self):
+        """Each result's Q holds its own run's preconditions exactly once."""
+        session = Session()
+        results = session.sweep(PROGRAM, SWEEP)
+        names = [sorted(a.name for a in r.target.q) for r in results]
+        assert names[0] == names[1] == names[2] == names[3]
+        assert any(n.startswith("pre.") for n in names[0])
+
+
+class TestCacheKeys(object):
+    def test_repeated_infer_is_a_hit(self):
+        session = Session()
+        first = session.infer(PROGRAM)
+        second = session.infer(PROGRAM)
+        assert first is second
+        assert session.stats.hit_count("infer") == 1
+        assert session.stats.miss_count("infer") == 1
+
+    def test_modified_source_misses(self):
+        session = Session()
+        session.infer(PROGRAM)
+        session.infer(PROGRAM + "\n// trailing comment\n")
+        assert session.stats.miss_count("parse") == 2
+        assert session.stats.hit_count("parse") == 0
+
+    def test_distinct_programs_coexist(self):
+        session = Session()
+        a = session.infer(PROGRAM)
+        b = session.infer(OTHER)
+        assert a is not b
+        assert session.infer(PROGRAM) is a
+        assert session.infer(OTHER) is b
+
+    def test_downcast_strategy_is_part_of_the_key(self):
+        session = Session()
+        session.infer(OTHER)
+        session.infer(OTHER, InferenceConfig(downcast=DowncastStrategy.REJECT))
+        assert session.stats.miss_count("infer") == 2
+        assert session.stats.hit_count("annotate") == 1
+
+    def test_clear_cache(self):
+        session = Session()
+        session.infer(PROGRAM)
+        assert session.cache_size > 0
+        session.clear_cache()
+        assert session.cache_size == 0
+        session.infer(PROGRAM)
+        assert session.stats.miss_count("infer") == 2
+
+
+class TestConveniences(object):
+    def test_check(self):
+        session = Session()
+        report = session.check(PROGRAM)
+        assert report.ok
+
+    def test_check_raises_when_verification_never_ran(self):
+        from repro.api import StageFailure
+
+        session = Session()
+        with pytest.raises(StageFailure) as exc:
+            session.check("class Broken {")
+        assert exc.value.diagnostics[0].code == "parse-error"
+
+    def test_execute(self):
+        session = Session()
+        execution = session.execute(PROGRAM, "main", [5])
+        assert str(execution.value) == "5"
+        assert execution.stats.objects_allocated == 5
+
+    def test_stats_render(self):
+        session = Session()
+        assert str(session.stats) == "no cache traffic"
+        session.infer(OTHER)
+        text = str(session.stats)
+        assert "parse" in text and "miss" in text
+        assert session.stats.as_dict()["misses"]["parse"] == 1

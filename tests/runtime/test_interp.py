@@ -220,3 +220,49 @@ class TestDispatchRegions(object):
         """
         v, _ = run(src, "f", mode=SubtypingMode.OBJECT)
         assert v is not None
+
+
+class TestRecursionLimit(object):
+    """The interpreter manages its own Python stack headroom (the old
+    ``sys.setrecursionlimit`` hack of ``__main__.cmd_run``, now a runtime
+    option so library users get the same behaviour as the CLI)."""
+
+    DEEP = """
+    int sum(int n) { if (n <= 0) { 0 } else { n + sum(n - 1) } }
+    """
+
+    def test_default_limit_allows_deep_recursion(self):
+        import sys
+
+        result = infer_and_check(self.DEEP)
+        old = sys.getrecursionlimit()
+        sys.setrecursionlimit(1200)  # far too small for the tree-walker
+        try:
+            interp = Interpreter(result.target)
+            value = interp.run_static("sum", [2000])
+            # the tight ambient limit is restored afterwards
+            assert sys.getrecursionlimit() == 1200
+        finally:
+            sys.setrecursionlimit(old)
+        assert value == VInt(2001000)
+
+    def test_limit_is_never_lowered(self):
+        import sys
+
+        result = infer_and_check(self.DEEP)
+        interp = Interpreter(result.target, recursion_limit=10)
+        assert interp.run_static("sum", [5]) == VInt(15)
+        assert sys.getrecursionlimit() >= 1000
+
+    def test_opt_out_respects_ambient_limit(self):
+        import sys
+
+        result = infer_and_check(self.DEEP)
+        old = sys.getrecursionlimit()
+        sys.setrecursionlimit(1200)
+        try:
+            interp = Interpreter(result.target, recursion_limit=None)
+            with pytest.raises(RecursionError):
+                interp.run_static("sum", [2000])
+        finally:
+            sys.setrecursionlimit(old)
