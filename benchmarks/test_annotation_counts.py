@@ -1,0 +1,60 @@
+"""Pins the annotation-line counts of the benchmark corpora.
+
+``count_annotation_lines`` backs the "Ann. (lines)" column of both paper
+tables; these golden counts pin the region-syntax pattern against the
+whole RegJava and Olden corpus so a formatting or pattern change that
+miscounts (e.g. matching a ``<`` comparison) shows up immediately.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.bench.harness import count_annotation_lines
+from repro.bench.olden import OLDEN_PROGRAMS
+from repro.bench.regjava import REGJAVA_PROGRAMS
+from repro.lang.pretty import pretty_target
+
+EXPECTED_ANNOTATION_LINES = {
+    # RegJava (Fig 8)
+    "sieve": 20,
+    "ackermann": 3,
+    "mergesort": 40,
+    "mandelbrot": 4,
+    "naive-life": 29,
+    "opt-life-array": 39,
+    "opt-life-dangling": 28,
+    "opt-life-stack": 31,
+    "reynolds3": 26,
+    "foo-sum": 11,
+    # Olden (Fig 9)
+    "bisort": 36,
+    "em3d": 37,
+    "health": 51,
+    "mst": 36,
+    "power": 46,
+    "treeadd": 12,
+    "tsp": 34,
+    "perimeter": 28,
+    "n-body": 53,
+    "voronoi": 50,
+}
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+ALL_PROGRAMS = {**REGJAVA_PROGRAMS, **OLDEN_PROGRAMS}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_ANNOTATION_LINES))
+def test_annotation_count_is_pinned(session, name):
+    program = ALL_PROGRAMS[name]
+    result = session.infer(program.source)
+    text = pretty_target(result.target)
+    assert count_annotation_lines(text) == EXPECTED_ANNOTATION_LINES[name]
+
+
+def test_every_benchmark_program_is_pinned():
+    assert sorted(ALL_PROGRAMS) == sorted(EXPECTED_ANNOTATION_LINES)

@@ -1,9 +1,14 @@
 """Scaling micro-benchmarks for the constraint-solver substrate.
 
 Not a paper table, but the engine underneath every figure: entailment,
-cycle coalescing and projection on synthetic constraint graphs of
+cycle coalescing and projection on synthetic constraint families of
 increasing size.  Keeps the solver's asymptotics honest as the codebase
-evolves.
+evolves — the condensation cache (see ``docs/solver.md``) is what holds
+the ``close``+``project`` numbers flat-ish while the families grow.
+
+The default sizes are smoke-mode: small enough for every CI run, large
+enough that a quadratic regression in ``close``/``entails``/``project``
+is plainly visible in the timing columns.
 """
 
 import pytest
@@ -12,9 +17,12 @@ from repro.regions import (
     Constraint,
     Outlives,
     Region,
-    RegionEq,
     RegionSolver,
 )
+
+# ---------------------------------------------------------------------------
+# constraint families
+# ---------------------------------------------------------------------------
 
 
 def _chain(n):
@@ -29,6 +37,62 @@ def _cycle(n):
     atoms = [Outlives(a, b) for a, b in zip(regions, regions[1:])]
     atoms.append(Outlives(regions[-1], regions[0]))
     return regions, Constraint.of(*atoms)
+
+
+def _grid(side):
+    """A side x side grid with right/down outlives edges (many diamonds)."""
+    cells = [[Region.fresh() for _ in range(side)] for _ in range(side)]
+    atoms = []
+    for y in range(side):
+        for x in range(side):
+            if x + 1 < side:
+                atoms.append(Outlives(cells[y][x], cells[y][x + 1]))
+            if y + 1 < side:
+                atoms.append(Outlives(cells[y][x], cells[y + 1][x]))
+    regions = [r for row in cells for r in row]
+    return regions, Constraint.of(*atoms)
+
+
+def _clique(n):
+    """Every ordered pair: one giant SCC that collapses to a single class."""
+    regions = Region.fresh_many(n)
+    atoms = [
+        Outlives(a, b) for i, a in enumerate(regions) for b in regions[i + 1 :]
+    ]
+    atoms.append(Outlives(regions[-1], regions[0]))
+    return regions, Constraint.of(*atoms)
+
+
+#: (family, region count) pairs for the close+project hot-path benchmark.
+#: Cliques get their own, smaller sizes: edge count is quadratic in the
+#: region count, so 160 clique regions already carry ~13k atoms.
+CLOSE_PROJECT_CASES = [
+    ("chain", 100),
+    ("chain", 400),
+    ("chain", 1000),
+    ("grid", 100),
+    ("grid", 400),
+    ("grid", 1000),
+    ("clique", 40),
+    ("clique", 80),
+    ("clique", 160),
+]
+
+FAMILIES = {
+    "chain": _chain,
+    "grid": lambda n: _grid(max(2, int(n**0.5))),
+    "clique": _clique,
+}
+
+
+def _interface(regions, k=16):
+    stride = max(1, len(regions) // k)
+    return list(regions)[::stride]
+
+
+# ---------------------------------------------------------------------------
+# benchmarks
+# ---------------------------------------------------------------------------
 
 
 @pytest.mark.parametrize("n", [50, 200, 800])
@@ -55,6 +119,39 @@ def test_cycle_coalescing(benchmark, n):
         return solver
 
     benchmark(run)
+
+
+@pytest.mark.parametrize("family,n", CLOSE_PROJECT_CASES)
+def test_close_project(benchmark, family, n):
+    """The fig-8/9 hot path: build, close, project onto an interface."""
+    regions, constraint = FAMILIES[family](n)
+    interface = _interface(regions)
+
+    def run():
+        solver = RegionSolver(constraint)
+        solver.close()
+        return solver.project(interface)
+
+    projected = benchmark(run)
+    assert projected is not None
+
+
+@pytest.mark.parametrize("n", [200, 1000])
+def test_repeated_queries_amortise(benchmark, n):
+    """After one cache build, entailment queries are O(1) bit tests."""
+    regions, constraint = _chain(n)
+    solver = RegionSolver(constraint)
+    solver.close()
+    solver.entails_outlives(regions[0], regions[-1])  # build the cache
+
+    def run():
+        hits = 0
+        for a in regions[:: max(1, n // 32)]:
+            for b in regions[:: max(1, n // 32)]:
+                hits += solver.entails_outlives(a, b)
+        return hits
+
+    assert benchmark(run) > 0
 
 
 @pytest.mark.parametrize("n", [50, 200])

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -47,14 +48,18 @@ def _source_key(source: str) -> str:
 
 @dataclass
 class SessionStats:
-    """Per-stage cache hit/miss counters for one session."""
+    """Per-stage cache hit/miss/eviction counters for one session."""
 
     hits: Dict[str, int] = field(default_factory=dict)
     misses: Dict[str, int] = field(default_factory=dict)
+    evictions: Dict[str, int] = field(default_factory=dict)
 
     def record(self, kind: str, hit: bool) -> None:
         bucket = self.hits if hit else self.misses
         bucket[kind] = bucket.get(kind, 0) + 1
+
+    def record_eviction(self, kind: str) -> None:
+        self.evictions[kind] = self.evictions.get(kind, 0) + 1
 
     def hit_count(self, kind: Optional[str] = None) -> int:
         if kind is not None:
@@ -66,6 +71,11 @@ class SessionStats:
             return self.misses.get(kind, 0)
         return sum(self.misses.values())
 
+    def eviction_count(self, kind: Optional[str] = None) -> int:
+        if kind is not None:
+            return self.evictions.get(kind, 0)
+        return sum(self.evictions.values())
+
     @property
     def total_hits(self) -> int:
         return self.hit_count()
@@ -74,8 +84,16 @@ class SessionStats:
     def total_misses(self) -> int:
         return self.miss_count()
 
+    @property
+    def total_evictions(self) -> int:
+        return self.eviction_count()
+
     def as_dict(self) -> Dict[str, Dict[str, int]]:
-        return {"hits": dict(self.hits), "misses": dict(self.misses)}
+        return {
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "evictions": dict(self.evictions),
+        }
 
     def __str__(self) -> str:
         kinds = sorted(set(self.hits) | set(self.misses))
@@ -83,16 +101,27 @@ class SessionStats:
             f"{k}: {self.hits.get(k, 0)} hit(s) / {self.misses.get(k, 0)} miss(es)"
             for k in kinds
         ]
+        if self.evictions:
+            parts.append(f"{self.total_evictions} eviction(s)")
         return "; ".join(parts) if parts else "no cache traffic"
 
 
 class _ArtifactStore:
-    """The keyed artifact cache a session injects into its pipelines."""
+    """The keyed artifact cache a session injects into its pipelines.
 
-    def __init__(self, stats: SessionStats):
-        self._data: Dict[Tuple[str, Hashable], Any] = {}
+    With ``max_entries`` set, the store is a bounded LRU: a hit refreshes
+    the entry's recency, and an insert that pushes the store past the bound
+    evicts the least-recently-used artifact (counted per stage kind in
+    :attr:`SessionStats.evictions`).  Unbounded by default.
+    """
+
+    def __init__(self, stats: SessionStats, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self._data: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
         self._lock = threading.Lock()
         self._stats = stats
+        self._max_entries = max_entries
 
     def get_or_build(
         self, kind: str, key: Hashable, builder: Callable[[], Any]
@@ -100,12 +129,18 @@ class _ArtifactStore:
         full_key = (kind, key)
         with self._lock:
             if full_key in self._data:
+                self._data.move_to_end(full_key)
                 self._stats.record(kind, hit=True)
                 return self._data[full_key], True
         value = builder()  # outside the lock: builds may be slow
         with self._lock:
             winner = self._data.setdefault(full_key, value)
+            self._data.move_to_end(full_key)
             self._stats.record(kind, hit=False)
+            if self._max_entries is not None:
+                while len(self._data) > self._max_entries:
+                    (evicted_kind, _), _ = self._data.popitem(last=False)
+                    self._stats.record_eviction(evicted_kind)
         return winner, False
 
     def clear(self) -> None:
@@ -124,6 +159,11 @@ class Session:
     session creates; every entry point accepts a per-call override, which
     is how ablation sweeps share one session (and therefore one parse and
     one class annotation) across configurations.
+
+    ``max_cache_entries`` bounds the artifact cache: a long-lived session
+    serving many distinct programs evicts its least-recently-used artifacts
+    instead of growing without bound (evictions are visible in
+    :attr:`Session.stats`).  ``None`` (the default) keeps every artifact.
     """
 
     def __init__(
@@ -131,11 +171,13 @@ class Session:
         config: Optional[InferenceConfig] = None,
         *,
         max_workers: Optional[int] = None,
+        max_cache_entries: Optional[int] = None,
     ):
         self.config = config or InferenceConfig()
         self.max_workers = max_workers
+        self.max_cache_entries = max_cache_entries
         self.stats = SessionStats()
-        self._store = _ArtifactStore(self.stats)
+        self._store = _ArtifactStore(self.stats, max_entries=max_cache_entries)
 
     # -- pipelines ---------------------------------------------------------
     def pipeline(

@@ -28,7 +28,7 @@ invariant strengthening, and the soundness of method overriding
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..lang import target as T
 from ..regions.abstraction import AbstractionEnv
@@ -187,6 +187,23 @@ class RegionTypeChecker:
         self.downcast = downcast
         self.issues: List[CheckIssue] = []
         self.obligations = 0
+        # closed solvers keyed by hypothesis atom set: class invariants and
+        # method hypotheses repeat across obligations, so each distinct
+        # constraint is solved (closed + reachability-cached) exactly once
+        self._solvers: Dict[FrozenSet, RegionSolver] = {}
+
+    def _closed_solver(self, hypotheses: Constraint) -> RegionSolver:
+        """A closed solver for ``hypotheses``, cached per atom set.
+
+        Callers that extend the hypotheses (e.g. letreg axioms) must work
+        on a :meth:`RegionSolver.copy`, never on the cached instance.
+        """
+        solver = self._solvers.get(hypotheses.atoms)
+        if solver is None:
+            solver = RegionSolver(hypotheses)
+            solver.close()
+            self._solvers[hypotheses.atoms] = solver
+        return solver
 
     # -- entry point -----------------------------------------------------------
     def check(self) -> CheckReport:
@@ -261,7 +278,7 @@ class RegionTypeChecker:
             self._fail(where, "class has no region parameters")
             return
         inv = self._invariant(cls.name, cls.regions)
-        solver = RegionSolver(inv)
+        solver = self._closed_solver(inv)
         # (a) the no-dangling requirement must be part of the invariant
         for r in cls.regions[1:]:
             self.obligations += 1
@@ -317,7 +334,7 @@ class RegionTypeChecker:
                 self._pre(super_m, list(self.table.regions_of(super_cn)) + list(super_m.region_params))
             )
         )
-        solver = RegionSolver(hyp)
+        solver = self._closed_solver(hyp)
         goal = self._pre(
             sub_m, list(cls.regions) + list(sub_m.region_params)
         )
@@ -343,7 +360,9 @@ class RegionTypeChecker:
 
     def _check_method(self, method: T.TMethodDecl, owner: Optional[str]) -> None:
         where = f"method {method.qualified_name}"
-        solver = RegionSolver(self._method_hypotheses(method, owner))
+        # the method body may extend the hypotheses (letreg axioms), so work
+        # on a copy of the cached closed solver
+        solver = self._closed_solver(self._method_hypotheses(method, owner)).copy()
         env: Dict[str, T.RType] = {}
         if owner is not None:
             env["this"] = T.RClass(owner, self.table.regions_of(owner))

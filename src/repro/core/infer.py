@@ -406,9 +406,10 @@ class RegionInference:
         rs = candidates - escapes
         if rs and self.config.localize_blocks:
             tbody, base = self._apply_localization(tbody, base, rs, ctx)
+            # localisation rewrote ``base``; the closed solver is stale
+            solver = RegionSolver(base.conj(hyp))
 
         # coalesce provably-equal regions (prefer formal names)
-        solver = RegionSolver(base.conj(hyp))
         coalesce = solver.coalescing_substitution(preferred=interface)
         keep = set(interface)
         coalesce = RegionSubst(
@@ -553,14 +554,19 @@ class RegionInference:
         abstraction = self.q[scheme.pre]
         hyp = self._hypotheses(scheme)
         kept = [a for a in abstraction.body.sorted_atoms()]
+        # the hypotheses are shared by every drop test: solve them once and
+        # seed each test with a copy instead of re-solving from scratch
+        hyp_solver = RegionSolver(hyp)
+        hyp_solver.close()
         changed = True
         while changed:
             changed = False
             for a in list(kept):
                 if isinstance(a, PredAtom):
                     continue
-                rest = Constraint.of(*(b for b in kept if b is not a))
-                if RegionSolver(hyp.conj(rest)).entails_atom(a):
+                trial = hyp_solver.copy()
+                trial.add_constraint(Constraint.of(*(b for b in kept if b is not a)))
+                if trial.entails_atom(a):
                     kept.remove(a)
                     changed = True
         self.q.define(

@@ -23,10 +23,10 @@ locals introduced by instantiation cannot grow the constraint unboundedly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List
 
 from .abstraction import AbstractionEnv, ConstraintAbstraction
-from .constraints import Constraint, HEAP, PredAtom, Region, TRUE
+from .constraints import Constraint, HEAP, TRUE
 from .solver import RegionSolver
 
 __all__ = ["FixpointResult", "solve_recursive_abstractions", "close_abstraction_env"]
@@ -62,20 +62,22 @@ class FixpointResult:
         return self.solutions[name]
 
 
-def _project_onto_params(
-    body: Constraint, params: Sequence[Region]
-) -> Constraint:
-    """Strongest consequence of ``body`` over ``params`` (plus heap)."""
-    solver = RegionSolver(body)
-    return solver.project(list(params) + [HEAP])
-
-
 def _step(
     nest: Dict[str, ConstraintAbstraction],
     current: Dict[str, Constraint],
     env: AbstractionEnv,
+    solvers: Dict[str, RegionSolver],
 ) -> Dict[str, Constraint]:
-    """One Kleene step: substitute current approximations into each body."""
+    """One Kleene step: substitute current approximations into each body.
+
+    ``solvers`` holds one persistent :class:`RegionSolver` per abstraction,
+    reused across iterations: each step's expansion is *added* to the
+    accumulated constraint store instead of rebuilding a solver from
+    scratch.  This is sound because Kleene iteration from ``True`` is
+    monotone -- every expansion entails the previous one over the shared
+    vocabulary (the parameters plus heap), so the accumulated conjunction
+    projects onto the parameters exactly like the latest expansion alone.
+    """
     nxt: Dict[str, Constraint] = {}
     for name, abstraction in nest.items():
         body = abstraction.body
@@ -90,7 +92,9 @@ def _step(
             else:
                 # out-of-nest abstraction: must already be closed
                 expanded = expanded.conj(env.expand(Constraint.of(atom)))
-        nxt[name] = _project_onto_params(expanded, abstraction.params)
+        solver = solvers[name]
+        solver.add_constraint(expanded)
+        nxt[name] = solver.project(list(abstraction.params) + [HEAP])
     return nxt
 
 
@@ -99,8 +103,16 @@ def _same(
     a: Dict[str, Constraint],
     b: Dict[str, Constraint],
 ) -> bool:
-    """Are two approximations equivalent (mutual entailment, per name)?"""
+    """Are two approximations equivalent, per name?
+
+    Iterates are projections onto the abstraction's parameters, so at the
+    fixed point they are almost always *syntactically* identical -- the
+    atom-set fingerprint decides without any solving.  Mutual entailment is
+    the (rare) fallback for syntactically different but equivalent forms.
+    """
     for name in nest:
+        if a[name].atoms == b[name].atoms:
+            continue
         sa = RegionSolver(a[name])
         sb = RegionSolver(b[name])
         if not (sa.entails(b[name]) and sb.entails(a[name])):
@@ -121,10 +133,12 @@ def solve_recursive_abstractions(
     nest: Dict[str, ConstraintAbstraction] = {a.name: a for a in abstractions}
     trace: Dict[str, List[Constraint]] = {name: [TRUE] for name in nest}
     current: Dict[str, Constraint] = {name: TRUE for name in nest}
+    # one incrementally-fed solver per abstraction, shared by every step
+    solvers: Dict[str, RegionSolver] = {name: RegionSolver() for name in nest}
 
     iterations = 0
     for _ in range(MAX_ITERATIONS):
-        nxt = _step(nest, current, env)
+        nxt = _step(nest, current, env, solvers)
         for name in nest:
             trace[name].append(nxt[name])
         if _same(nest, current, nxt):

@@ -18,6 +18,23 @@ The solver gives semantics to conjunctions of ``Outlives``/``RegionEq`` atoms:
 
 The solver ignores :class:`~repro.regions.constraints.PredAtom` atoms; those
 are eliminated beforehand by fixed-point analysis.
+
+Performance model (see ``docs/solver.md``):
+
+* the edge maps ``_succ``/``_pred`` only ever hold *representatives*, on
+  both sides, so :meth:`union` re-points edges in O(degree of the merged
+  class) by walking the merged class's own adjacency sets -- the reverse
+  map is the back-reference index;
+* :meth:`close` runs Tarjan exactly once: collapsing every SCC of the
+  current graph yields its condensation, which is a DAG, so no new cycle
+  can appear and no fixpoint loop is needed;
+* reachability queries are answered from a memoised *descendant bitset*
+  per representative (one ``int`` used as a bitmask over a dense
+  representative numbering, computed in a single reverse-topological
+  sweep).  ``entails``/``project``/``upward_closure``/``failing_atoms``
+  are all O(1) bit tests per query after the cache is built.  Any
+  mutation (``add_outlives``, ``union``) invalidates the cache; the next
+  query re-closes and rebuilds it.
 """
 
 from __future__ import annotations
@@ -57,12 +74,28 @@ class RegionSolver:
     def __init__(self, constraint: Optional[Constraint] = None):
         # union-find parent pointers; regions are added lazily.
         self._parent: Dict[Region, Region] = {}
-        # outlives edges over *representatives*: succ[a] = {b | a >= b}
+        # outlives edges over *representatives*: succ[a] = {b | a >= b}.
+        # Invariant: every key and every member of every set is a current
+        # representative, and _pred mirrors _succ exactly.  This makes the
+        # two maps each other's back-reference index, which is what lets
+        # union() re-point edges in O(degree) instead of O(V).
         self._succ: Dict[Region, Set[Region]] = {}
         self._pred: Dict[Region, Set[Region]] = {}
         self._closed = False
+        # reachability cache over the closed condensation (built lazily):
+        # _bit numbers the representatives densely; _reach[rep] is the
+        # bitmask of representatives reachable from rep (including itself).
+        self._bit: Optional[Dict[Region, int]] = None
+        self._reach: Optional[Dict[Region, int]] = None
         if constraint is not None:
             self.add_constraint(constraint)
+
+    # -- cache control --------------------------------------------------------
+    def _invalidate(self) -> None:
+        """Drop the closure flag and reachability cache after a mutation."""
+        self._closed = False
+        self._bit = None
+        self._reach = None
 
     # -- union-find -----------------------------------------------------------
     def _ensure(self, r: Region) -> Region:
@@ -90,6 +123,9 @@ class RegionSolver:
         Heap and null regions are canonical: if either side is heap (resp.
         null) the merged class is represented by it, so entailment rules for
         the distinguished regions stay uniform.
+
+        Cost is O(degree of the dropped representative): its adjacency sets
+        are walked once to re-point the mirror edges held by its neighbours.
         """
         ra, rb = self._ensure(a), self._ensure(b)
         if ra == rb:
@@ -103,24 +139,26 @@ class RegionSolver:
         elif not (ra.is_heap or ra.is_null) and rb.uid < ra.uid:
             keep, drop = rb, ra
         self._parent[drop] = keep
-        self._succ.setdefault(keep, set()).update(
-            self.find(s) for s in self._succ.pop(drop, ())
-        )
-        self._pred.setdefault(keep, set()).update(
-            self.find(p) for p in self._pred.pop(drop, ())
-        )
-        # re-point edges held by neighbours
-        for other, succs in self._succ.items():
-            if drop in succs:
-                succs.discard(drop)
-                succs.add(keep)
-        for other, preds in self._pred.items():
-            if drop in preds:
-                preds.discard(drop)
-                preds.add(keep)
-        self._succ[keep].discard(keep)
-        self._pred[keep].discard(keep)
-        self._closed = False
+        succ_d = self._succ.pop(drop)
+        pred_d = self._pred.pop(drop)
+        # re-point the mirror edges held by the dropped rep's neighbours
+        for s in succ_d:
+            mirror = self._pred[s]
+            mirror.discard(drop)
+            mirror.add(keep)
+        for p in pred_d:
+            mirror = self._succ[p]
+            mirror.discard(drop)
+            mirror.add(keep)
+        succ_k = self._succ[keep]
+        pred_k = self._pred[keep]
+        succ_k |= succ_d
+        pred_k |= pred_d
+        succ_k.discard(keep)
+        succ_k.discard(drop)
+        pred_k.discard(keep)
+        pred_k.discard(drop)
+        self._invalidate()
         return keep
 
     # -- building ----------------------------------------------------------------
@@ -135,9 +173,15 @@ class RegionSolver:
         la, rb = self._ensure(left), self._ensure(right)
         if la == rb:
             return
-        self._succ[la].add(rb)
-        self._pred[rb].add(la)
-        self._closed = False
+        if rb.is_heap:
+            # ``right`` was merged into the heap class earlier, so this atom
+            # is again ``left >= heap``
+            self.union(left, HEAP)
+            return
+        if rb not in self._succ[la]:
+            self._succ[la].add(rb)
+            self._pred[rb].add(la)
+            self._invalidate()
 
     def add_eq(self, left: Region, right: Region) -> None:
         """Record ``left = right``."""
@@ -166,40 +210,51 @@ class RegionSolver:
     def close(self) -> None:
         """Collapse every cycle of the outlives graph into an equality class.
 
-        After closing, the graph over representatives is a DAG, so
-        entailment is plain reachability.  Idempotent.
+        A single Tarjan pass suffices: collapsing the SCCs of the current
+        graph produces its condensation, which is a DAG by construction, so
+        no further cycles can appear.  After closing, entailment is plain
+        reachability.  Idempotent.
         """
         if self._closed:
             return
-        changed = True
-        while changed:
-            changed = False
-            for scc in self._tarjan_sccs():
-                if len(scc) > 1:
-                    first = scc[0]
-                    for other in scc[1:]:
-                        self.union(first, other)
-                    changed = True
+        for scc in self._tarjan_sccs():
+            if len(scc) > 1:
+                rep = scc[0]
+                for other in scc[1:]:
+                    rep = self.union(rep, other)
+        # heap is top: anything with an outlives path *to* the heap class
+        # also satisfies ``heap >= r``, hence equals heap (such edges only
+        # appear when a successor was merged into the heap class earlier)
+        if HEAP in self._pred and self._pred[HEAP]:
+            above: Set[Region] = set()
+            frontier = list(self._pred[HEAP])
+            while frontier:
+                node = frontier.pop()
+                if node in above or node.is_heap:
+                    continue
+                above.add(node)
+                frontier.extend(self._pred[node])
+            for r in above:
+                self.union(r, HEAP)
         self._closed = True
 
     def _tarjan_sccs(self) -> List[List[Region]]:
         """Iterative Tarjan over the current representative graph."""
-        reps = {self.find(r) for r in self._parent}
         index: Dict[Region, int] = {}
         low: Dict[Region, int] = {}
         on_stack: Set[Region] = set()
         stack: List[Region] = []
         sccs: List[List[Region]] = []
-        counter = [0]
+        counter = 0
 
-        for start in reps:
+        for start in list(self._succ):
             if start in index:
                 continue
-            work: List[Tuple[Region, Iterable[Region]]] = [(start, iter(sorted(
-                (self.find(s) for s in self._succ.get(start, ())), key=lambda x: x.uid
-            )))]
-            index[start] = low[start] = counter[0]
-            counter[0] += 1
+            work: List[Tuple[Region, Iterable[Region]]] = [
+                (start, iter(self._succ[start]))
+            ]
+            index[start] = low[start] = counter
+            counter += 1
             stack.append(start)
             on_stack.add(start)
             while work:
@@ -209,14 +264,11 @@ class RegionSolver:
                     if child == node:
                         continue
                     if child not in index:
-                        index[child] = low[child] = counter[0]
-                        counter[0] += 1
+                        index[child] = low[child] = counter
+                        counter += 1
                         stack.append(child)
                         on_stack.add(child)
-                        work.append((child, iter(sorted(
-                            (self.find(s) for s in self._succ.get(child, ())),
-                            key=lambda x: x.uid,
-                        ))))
+                        work.append((child, iter(self._succ[child])))
                         advanced = True
                         break
                     if child in on_stack:
@@ -238,6 +290,47 @@ class RegionSolver:
                     sccs.append(scc)
         return sccs
 
+    # -- reachability cache --------------------------------------------------------
+    def _reach_masks(self) -> Dict[Region, int]:
+        """Descendant bitsets per representative over the closed DAG.
+
+        Built in one reverse-topological sweep (iterative post-order DFS):
+        each representative's mask is its own bit OR-ed with its successors'
+        masks.  Valid until the next mutation.
+        """
+        self.close()
+        if self._reach is not None:
+            return self._reach
+        bit: Dict[Region, int] = {}
+        masks: Dict[Region, int] = {}
+        succ = self._succ
+        for root in succ:
+            if root in masks:
+                continue
+            work: List[Tuple[Region, Iterable[Region]]] = [(root, iter(succ[root]))]
+            while work:
+                node, children = work[-1]
+                descended = False
+                for child in children:
+                    if child not in masks:
+                        work.append((child, iter(succ[child])))
+                        descended = True
+                        break
+                if descended:
+                    continue
+                work.pop()
+                if node in masks:  # diamond: finished via another path
+                    continue
+                if node not in bit:
+                    bit[node] = len(bit)
+                mask = 1 << bit[node]
+                for child in succ[node]:
+                    mask |= masks[child]
+                masks[node] = mask
+        self._bit = bit
+        self._reach = masks
+        return masks
+
     # -- queries ----------------------------------------------------------------
     def same_region(self, a: Region, b: Region) -> bool:
         """Does the constraint force ``a = b``?"""
@@ -247,23 +340,18 @@ class RegionSolver:
         return self.find(a) == self.find(b)
 
     def reachable(self, src: Region, dst: Region) -> bool:
-        """Is there an outlives path ``src >= ... >= dst``? (on representatives)"""
-        self.close()
+        """Is there an outlives path ``src >= ... >= dst``? (on representatives)
+
+        Answered by a bit test against the memoised descendant sets.
+        """
+        masks = self._reach_masks()
         a, b = self.find(src), self.find(dst)
         if a == b:
             return True
-        seen = {a}
-        frontier = [a]
-        while frontier:
-            node = frontier.pop()
-            for nxt in self._succ.get(node, ()):
-                nxt = self.find(nxt)
-                if nxt == b:
-                    return True
-                if nxt not in seen:
-                    seen.add(nxt)
-                    frontier.append(nxt)
-        return False
+        if a not in masks or b not in masks:
+            return False  # a region the solver has never seen in an atom
+        assert self._bit is not None
+        return bool(masks[a] >> self._bit[b] & 1)
 
     def entails_outlives(self, left: Region, right: Region) -> bool:
         """Does the recorded constraint entail ``left >= right``?"""
@@ -271,6 +359,9 @@ class RegionSolver:
             return True
         if right.is_heap:
             return self.same_region(left, HEAP)
+        if self.same_region(left, HEAP):
+            # left's class was merged into heap, which outlives everything
+            return True
         return self.reachable(left, right)
 
     def entails_atom(self, atom: Atom) -> bool:
@@ -295,22 +386,26 @@ class RegionSolver:
         outlive an escaping region escapes itself.  Includes the targets and
         every member of their equivalence classes.
         """
-        self.close()
+        masks = self._reach_masks()
         targets = list(targets)
-        reps = set()
+        assert self._bit is not None
+        target_mask = 0
         for t in targets:
-            if t in self._parent:
-                reps.add(self.find(t))
-        # reverse reachability over representative edges
-        frontier = list(reps)
-        while frontier:
-            node = frontier.pop()
-            for prev in self._pred.get(node, ()):
-                prev = self.find(prev)
-                if prev not in reps:
-                    reps.add(prev)
-                    frontier.append(prev)
-        members = {r for r in self._parent if self.find(r) in reps}
+            rep = self.find(t)
+            if rep in masks:
+                target_mask |= 1 << self._bit[rep]
+        reps: Set[Region] = set()
+        if target_mask:
+            # a representative reaches a target iff its descendant bitset
+            # intersects the targets' bits (each mask includes its own bit)
+            reps = {rep for rep, mask in masks.items() if mask & target_mask}
+        if targets:
+            # the heap class outlives every target unconditionally — even
+            # targets the solver has never seen in an atom
+            reps.add(HEAP)
+        members = (
+            {r for r in self._parent if self.find(r) in reps} if reps else set()
+        )
         # a target trivially outlives itself even if the solver has never
         # seen it in an atom
         members.update(targets)
@@ -373,8 +468,14 @@ class RegionSolver:
         an outlives path.  With ``transitive_reduce`` the redundant outlives
         atoms implied by others in the result are dropped, matching the terse
         preconditions shown in the paper's figures.
+
+        Each pair is a single bit test against the memoised descendant
+        sets, so projection is O(k^2) bit tests for k interface regions,
+        not O(k^2) graph searches.
         """
-        self.close()
+        masks = self._reach_masks()
+        assert self._bit is not None
+        bit = self._bit
         iface = [r for r in interface if not r.is_null]
         # Equalities among interface regions.
         eq_atoms: List[Atom] = []
@@ -392,10 +493,17 @@ class RegionSolver:
         chosen = list(canon_of.values())
         pairs: Set[Tuple[Region, Region]] = set()
         for a in chosen:
+            if a.is_heap:
+                continue
+            ra = self.find(a)
+            mask_a = masks.get(ra, 0)
             for b in chosen:
-                if a == b or a.is_heap:
+                if a == b:
                     continue
-                if self.find(a) != self.find(b) and self.reachable(a, b):
+                rb = self.find(b)
+                if ra == rb:
+                    continue
+                if rb in bit and (mask_a >> bit[rb]) & 1:
                     pairs.add((a, b))
         if transitive_reduce:
             pairs = _transitive_reduction(pairs)
@@ -403,12 +511,18 @@ class RegionSolver:
         return Constraint.of(*eq_atoms, *out_atoms)
 
     def copy(self) -> "RegionSolver":
-        """An independent copy (used for what-if entailment tests)."""
+        """An independent copy (used for what-if entailment tests).
+
+        The closure flag and the reachability cache carry over, so copying
+        a closed solver and querying the copy costs no re-closing.
+        """
         dup = RegionSolver()
         dup._parent = dict(self._parent)
         dup._succ = {k: set(v) for k, v in self._succ.items()}
         dup._pred = {k: set(v) for k, v in self._pred.items()}
         dup._closed = self._closed
+        dup._bit = dict(self._bit) if self._bit is not None else None
+        dup._reach = dict(self._reach) if self._reach is not None else None
         return dup
 
 

@@ -1,0 +1,76 @@
+"""Tests for the bounded (LRU) session artifact cache."""
+
+import pytest
+
+from repro.api import Session
+
+PROGRAM_A = """
+int main(int n) { n + 1 }
+"""
+
+PROGRAM_B = """
+int main(int n) { n + 2 }
+"""
+
+PROGRAM_C = """
+int main(int n) { n + 3 }
+"""
+
+#: cache entries one inference populates: parse, typecheck, annotate, infer
+ENTRIES_PER_PROGRAM = 4
+
+
+class TestBoundedCache:
+    def test_unbounded_by_default(self):
+        session = Session()
+        for source in (PROGRAM_A, PROGRAM_B, PROGRAM_C):
+            session.infer(source)
+        assert session.stats.eviction_count() == 0
+        assert session.cache_size == 3 * ENTRIES_PER_PROGRAM
+
+    def test_eviction_keeps_cache_bounded(self):
+        session = Session(max_cache_entries=ENTRIES_PER_PROGRAM)
+        session.infer(PROGRAM_A)
+        assert session.cache_size == ENTRIES_PER_PROGRAM
+        session.infer(PROGRAM_B)
+        assert session.cache_size == ENTRIES_PER_PROGRAM
+        assert session.stats.eviction_count() == ENTRIES_PER_PROGRAM
+        # the evicted program misses again; the resident one stays hot
+        session.infer(PROGRAM_A)
+        assert session.stats.miss_count("infer") == 3
+
+    def test_hits_refresh_recency(self):
+        session = Session(max_cache_entries=2 * ENTRIES_PER_PROGRAM)
+        session.infer(PROGRAM_A)
+        session.infer(PROGRAM_B)
+        session.infer(PROGRAM_A)  # refresh A: B is now least-recently-used
+        session.infer(PROGRAM_C)  # evicts B's entries, not A's
+        before = session.stats.miss_count()
+        session.infer(PROGRAM_A)
+        assert session.stats.miss_count() == before  # A fully cached
+        session.infer(PROGRAM_B)
+        assert session.stats.miss_count() > before  # B was evicted
+
+    def test_eviction_counters_are_per_stage(self):
+        session = Session(max_cache_entries=ENTRIES_PER_PROGRAM)
+        session.infer(PROGRAM_A)
+        session.infer(PROGRAM_B)
+        stats = session.stats
+        assert stats.eviction_count("parse") == 1
+        assert stats.eviction_count("infer") == 1
+        assert stats.as_dict()["evictions"]["parse"] == 1
+        assert "eviction(s)" in str(stats)
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValueError):
+            Session(max_cache_entries=0)
+        with pytest.raises(ValueError):
+            Session(max_cache_entries=-3)
+
+    def test_clear_cache_still_works(self):
+        session = Session(max_cache_entries=ENTRIES_PER_PROGRAM)
+        session.infer(PROGRAM_A)
+        session.clear_cache()
+        assert session.cache_size == 0
+        session.infer(PROGRAM_A)
+        assert session.stats.miss_count("infer") == 2

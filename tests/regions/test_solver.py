@@ -194,6 +194,71 @@ class TestCoalescingSubstitution:
         assert subst.apply(a) == HEAP
 
 
+class TestCloseIdempotence:
+    """close() must be idempotent, including after interleaved mutation."""
+
+    def _snapshot(self, solver, regions):
+        classes = solver.equivalence_classes()
+        entailments = {
+            (a, b): solver.entails_outlives(a, b)
+            for a in regions
+            for b in regions
+        }
+        return classes, entailments
+
+    def test_repeated_close_is_stable(self):
+        rs = Region.fresh_many(5)
+        atoms = [Outlives(x, y) for x, y in zip(rs, rs[1:])]
+        atoms.append(Outlives(rs[-1], rs[0]))
+        solver = RegionSolver(Constraint.of(*atoms))
+        solver.close()
+        first = self._snapshot(solver, rs)
+        for _ in range(3):
+            solver.close()
+        assert self._snapshot(solver, rs) == first
+
+    def test_interleaved_add_union_query_sequences(self):
+        a, b, c, d, e = Region.fresh_many(5)
+        solver = RegionSolver()
+        solver.add_outlives(a, b)
+        assert solver.entails_outlives(a, b)  # query closes
+        solver.union(c, d)  # mutate after close
+        assert solver.same_region(c, d)
+        solver.add_outlives(b, c)  # extend the chain after close
+        solver.add_outlives(d, a)  # ... and close the cycle a->b->c=d->a
+        assert solver.same_region(a, c)
+        assert solver.same_region(b, d)
+        solver.add_outlives(c, e)  # grow from inside a collapsed class
+        assert solver.entails_outlives(a, e)
+        assert not solver.entails_outlives(e, a)
+        snapshot = self._snapshot(solver, (a, b, c, d, e))
+        solver.close()
+        solver.close()
+        assert self._snapshot(solver, (a, b, c, d, e)) == snapshot
+
+    def test_queries_between_mutations_see_fresh_state(self):
+        """The reachability cache must be invalidated by every mutation."""
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver(outlives(a, b))
+        assert not solver.entails_outlives(a, c)  # cache built without c edge
+        solver.add_outlives(b, c)
+        assert solver.entails_outlives(a, c)  # rebuilt after the mutation
+        assert not solver.entails_outlives(c, a)
+        solver.union(c, a)  # collapses the whole chain
+        assert solver.entails_outlives(c, a)
+        assert solver.same_region(a, b)
+
+    def test_derived_heap_merge_is_complete(self):
+        """r >= s /\\ s >= heap forces r (and s) into the heap class."""
+        r, s, t = Region.fresh_many(3)
+        solver = RegionSolver(outlives(r, s) & outlives(s, HEAP))
+        assert solver.same_region(s, HEAP)
+        assert solver.same_region(r, HEAP)
+        # heap-class regions outlive everything, known or not
+        assert solver.entails_outlives(r, t)
+        assert r in solver.upward_closure([t])
+
+
 class TestCopy:
     def test_copy_is_independent(self):
         a, b = Region.fresh_many(2)
