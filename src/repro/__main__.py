@@ -7,6 +7,7 @@ Commands (all built on the staged :mod:`repro.api` pipeline):
 * ``run FILE``     -- infer and execute a static entry point on the
   region-based interpreter, reporting space statistics
 * ``report FILE``  -- per-class/per-method inference statistics
+* ``batch FILE...`` -- batch inference over many files on a worker pool
 * ``fig8`` / ``fig9`` -- regenerate the paper's evaluation tables
 
 Every command accepts ``--format {text,json}``; JSON output carries the
@@ -17,7 +18,10 @@ that infer but fail verification).
 
 Options: ``--mode {none,object,field}``, ``--downcast {padding,first-region,
 reject}``, ``--entry NAME``, ``--args N [N ...]``, ``--recursion-limit N``,
-``--quick``.
+``--quick``.  The batch entry points (``batch``, ``fig8``, ``fig9``) accept
+``--jobs N`` and ``--backend {thread,process,auto}`` — ``process`` runs the
+batch on a multi-core process pool, ``auto`` picks it whenever the machine
+has more than one core.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from .analysis import render_report, summarize
-from .api import Pipeline, Session, StageResult
+from .api import BACKENDS, Pipeline, Session, StageFailure, StageResult
 from .api.diagnostics import (
     Diagnostic,
     DiagnosticCode,
@@ -216,8 +220,83 @@ def cmd_report(args: argparse.Namespace, session: Session) -> int:
     return EXIT_OK
 
 
+def cmd_batch(args: argparse.Namespace, session: Session) -> int:
+    # an unreadable file is a per-file failure like any other: the rest of
+    # the batch still runs
+    sources: Dict[str, str] = {}
+    read_errors: Dict[str, StageFailure] = {}
+    for path in args.files:
+        try:
+            sources[path] = Path(path).read_text()
+        except OSError as err:
+            read_errors[path] = StageFailure(
+                "read", [from_exception(err, stage="read", file=path)]
+            )
+    readable = [path for path in args.files if path in sources]
+    inferred = session.infer_many(
+        [sources[path] for path in readable],
+        _config(args),
+        max_workers=args.jobs,
+        backend=args.backend,
+        return_exceptions=True,
+    )
+    outcomes = dict(zip(readable, inferred))
+    entries: List[Dict[str, Any]] = []
+    lines: List[str] = []
+    failures = 0
+    for path in args.files:
+        outcome = read_errors.get(path) or outcomes[path]
+        if isinstance(outcome, StageFailure):
+            failures += 1
+            entries.append(
+                {
+                    "file": path,
+                    "ok": False,
+                    "stage": outcome.stage,
+                    # batch ships bare sources, so re-attach the filename
+                    "diagnostics": [
+                        {**d.to_dict(), "file": d.file or path}
+                        for d in outcome.diagnostics
+                    ],
+                }
+            )
+            first = outcome.diagnostics[0] if outcome.diagnostics else None
+            detail = f": {first.message}" if first is not None else ""
+            lines.append(f"{path}: FAILED at {outcome.stage}{detail}")
+        else:
+            entries.append(
+                {
+                    "file": path,
+                    "ok": True,
+                    "inference_seconds": outcome.elapsed,
+                    "localized_regions": outcome.total_localized,
+                }
+            )
+            lines.append(
+                f"{path}: ok ({outcome.elapsed:.3f}s, "
+                f"{outcome.total_localized} localized regions)"
+            )
+    lines.append(
+        f"{len(outcomes) - failures}/{len(outcomes)} programs inferred"
+        + (f", {failures} failed" if failures else "")
+    )
+    payload = {
+        "ok": failures == 0,
+        "command": "batch",
+        "programs": entries,
+        "diagnostics": [],
+    }
+    _emit(args, payload, "\n".join(lines))
+    return EXIT_ERROR if failures else EXIT_OK
+
+
 def cmd_fig8(args: argparse.Namespace, session: Session) -> int:
-    rows = fig8_rows(quick=args.quick, session=session)
+    rows = fig8_rows(
+        quick=args.quick,
+        session=session,
+        max_workers=args.jobs,
+        backend=args.backend,
+    )
     payload = {
         "ok": True,
         "command": "fig8",
@@ -229,7 +308,9 @@ def cmd_fig8(args: argparse.Namespace, session: Session) -> int:
 
 
 def cmd_fig9(args: argparse.Namespace, session: Session) -> int:
-    rows = fig9_rows(session=session)
+    rows = fig9_rows(
+        session=session, max_workers=args.jobs, backend=args.backend
+    )
     payload = {
         "ok": True,
         "command": "fig9",
@@ -256,7 +337,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="output format (json carries structured diagnostics)",
         )
 
-    def common(p: argparse.ArgumentParser) -> None:
+    def pool(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker pool size (default: backend-aware, bounded by cores)",
+        )
+        p.add_argument(
+            "--backend",
+            choices=list(BACKENDS),
+            default=None,
+            help="executor backend: thread (default), process (multi-core), "
+            "or auto (process when the machine has more than one core)",
+        )
+
+    def common(p: argparse.ArgumentParser, collect: bool = True) -> None:
         p.add_argument(
             "--mode",
             choices=[m.value for m in SubtypingMode],
@@ -279,12 +376,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable letreg localisation (ablation)",
         )
-        p.add_argument(
-            "--collect",
-            action="store_true",
-            help="collect every top-level syntax error instead of stopping "
-            "at the first",
-        )
+        if collect:
+            p.add_argument(
+                "--collect",
+                action="store_true",
+                help="collect every top-level syntax error instead of stopping "
+                "at the first",
+            )
         output(p)
 
     p_infer = sub.add_parser("infer", help="print the region-annotated program")
@@ -319,12 +417,25 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_report)
     p_report.set_defaults(func=cmd_report)
 
+    p_batch = sub.add_parser(
+        "batch",
+        help="batch inference over many files on a worker pool",
+        description="Infer every file, reporting per-file outcomes; "
+        "--backend process fans the batch out across cores.",
+    )
+    p_batch.add_argument("files", nargs="+", metavar="FILE")
+    pool(p_batch)
+    common(p_batch, collect=False)
+    p_batch.set_defaults(func=cmd_batch)
+
     p8 = sub.add_parser("fig8", help="regenerate the Fig 8 table")
     p8.add_argument("--quick", action="store_true")
+    pool(p8)
     output(p8)
     p8.set_defaults(func=cmd_fig8)
 
     p9 = sub.add_parser("fig9", help="regenerate the Fig 9 table")
+    pool(p9)
     output(p9)
     p9.set_defaults(func=cmd_fig9)
 

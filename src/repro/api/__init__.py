@@ -15,9 +15,13 @@ remain as thin shims over it):
   source span) replacing bare exception strings, with a ``collect`` mode
   that gathers multiple diagnostics instead of dying on the first.
 * :meth:`Session.infer_many` — batch inference over many programs on a
-  worker pool, used by the Fig 8 / Fig 9 benchmark harness.
+  pluggable worker pool (``backend="thread" | "process" | "auto"``); the
+  process backend escapes the GIL for multi-core batches and is what the
+  Fig 8 / Fig 9 benchmark harness and the ``batch`` CLI subcommand fan
+  out on.
 
-See ``docs/api.md`` for the migration guide from the one-shot calls.
+See ``docs/api.md`` for the migration guide from the one-shot calls and
+the backend-selection / pickling contract.
 """
 
 from .diagnostics import (
@@ -28,7 +32,14 @@ from .diagnostics import (
     from_exception,
     render_diagnostics,
 )
-from .executor import ExecutionResult, default_workers, map_ordered
+from .executor import (
+    BACKENDS,
+    ExecutionResult,
+    default_workers,
+    map_ordered,
+    map_ordered_process,
+    resolve_backend,
+)
 from .pipeline import STAGES, Pipeline, StageFailure, StageResult, config_key
 from .session import Session, SessionStats
 
@@ -39,9 +50,12 @@ __all__ = [
     "diagnostics_to_json",
     "from_exception",
     "render_diagnostics",
+    "BACKENDS",
     "ExecutionResult",
     "default_workers",
     "map_ordered",
+    "map_ordered_process",
+    "resolve_backend",
     "STAGES",
     "Pipeline",
     "StageFailure",

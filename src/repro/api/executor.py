@@ -1,25 +1,61 @@
-"""Execution results and the worker pool behind batch entry points.
+"""Execution results and the pluggable worker pools behind batch entry points.
 
-The pool is a thin, order-preserving wrapper over
-:class:`concurrent.futures.ThreadPoolExecutor`.  Threads are the right
-executor here: inference is pure Python (the GIL serialises the CPU work)
-but the pool still overlaps any I/O and — more importantly — gives
-:meth:`repro.api.Session.infer_many` a single, bounded place where
-multi-program workloads are scheduled, so swapping in a process pool later
-is a one-line change.
+Batch entry points (:meth:`repro.api.Session.infer_many`, the fig8/fig9
+harness, the ``batch`` CLI subcommand) schedule their work through one of
+two order-preserving pools:
+
+* ``backend="thread"`` — :class:`concurrent.futures.ThreadPoolExecutor`.
+  Inference is pure Python, so the GIL serialises the CPU work, but threads
+  share the session cache directly, need no pickling, and still overlap
+  I/O.  This is the default and the right choice on one core or for small
+  batches.
+
+* ``backend="process"`` — :class:`concurrent.futures.ProcessPoolExecutor`.
+  Sources are shipped to workers, each worker runs its own
+  :class:`~repro.api.Session`, and pickled artifacts travel back to the
+  parent.  Every worker first moves its region-uid counter into a private
+  namespace (:meth:`repro.regions.constraints.Region.namespace_uids`), so
+  regions minted by different workers can never collide when their results
+  meet again in the parent's cache.
+
+* ``backend="auto"`` — picks ``process`` when the machine has more than one
+  core and the batch has more than one item, else ``thread``.
+
+Both pools share the same ordering and failure contract, documented on
+:func:`map_ordered`.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 _I = TypeVar("_I")
 _O = TypeVar("_O")
 
-__all__ = ["ExecutionResult", "default_workers", "map_ordered"]
+__all__ = [
+    "BACKENDS",
+    "ExecutionResult",
+    "default_workers",
+    "map_ordered",
+    "map_ordered_process",
+    "resolve_backend",
+]
+
+#: the recognised executor backends (``auto`` resolves to one of the others)
+BACKENDS = ("thread", "process", "auto")
+
+#: thread pools are GIL-bound: past a handful of workers extra threads only
+#: add contention, so the thread backend caps itself regardless of core count
+_THREAD_WORKER_CAP = 8
 
 
 @dataclass
@@ -47,9 +83,68 @@ class ExecutionResult:
         }
 
 
-def default_workers(n_items: int) -> int:
-    """A sensible pool size: bounded by the CPU count and the workload."""
-    return max(1, min(n_items, os.cpu_count() or 1, 8))
+def default_workers(n_items: int, backend: str = "thread") -> int:
+    """A sensible pool size: bounded by the CPU count and the workload.
+
+    The bound is backend-aware: thread pools are GIL-bound, so more than
+    :data:`_THREAD_WORKER_CAP` threads only add contention; process pools
+    genuinely use every core, so on big machines they scale to the full
+    CPU count.
+    """
+    cpus = os.cpu_count() or 1
+    cap = cpus if backend == "process" else _THREAD_WORKER_CAP
+    return max(1, min(n_items, cpus, cap))
+
+
+def resolve_backend(backend: Optional[str], n_items: int) -> str:
+    """Resolve a backend request to ``"thread"`` or ``"process"``.
+
+    ``None`` means ``"thread"`` (the conservative default); ``"auto"``
+    picks ``"process"`` exactly when multi-core parallelism can pay for
+    the pickling overhead — more than one core *and* more than one item.
+    """
+    if backend is None:
+        return "thread"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        return "process" if (os.cpu_count() or 1) > 1 and n_items > 1 else "thread"
+    return backend
+
+
+def _collect_ordered(futures: List[Any]) -> List[Any]:
+    """Results in submission order, or the earliest-submitted failure.
+
+    Futures must all be settled (done or cancelled).  Cancelled futures can
+    only exist when some future failed, so scanning in submission order and
+    raising the first exception found gives a deterministic, input-ordered
+    failure even when a later item failed chronologically first.
+    """
+    results: List[Any] = []
+    for future in futures:
+        if future.cancelled():
+            continue
+        err = future.exception()
+        if err is not None:
+            raise err
+        results.append(future.result())
+    return results
+
+
+def _run_ordered(
+    pool: Executor, fn: Callable[[_I], _O], items: Sequence[_I]
+) -> List[_O]:
+    """The shared submit/wait/collect flow behind both pool backends."""
+    futures = [pool.submit(fn, item) for item in items]
+    done, _ = wait(futures, return_when=FIRST_EXCEPTION)
+    if any(f.exception() is not None for f in done):
+        # first failure: stop scheduling new work (running items drain)
+        for future in futures:
+            future.cancel()
+    wait(futures)
+    return _collect_ordered(futures)
 
 
 def map_ordered(
@@ -58,16 +153,139 @@ def map_ordered(
     *,
     max_workers: Optional[int] = None,
 ) -> List[_O]:
-    """Apply ``fn`` to every item on a worker pool, preserving input order.
+    """Apply ``fn`` to every item on a thread pool, preserving input order.
 
-    The first exception raised by any worker propagates to the caller
-    (remaining work is still drained by the pool shutdown).  With zero or
-    one item, or ``max_workers=1``, runs inline — no pool, identical
-    semantics, easier tracebacks.
+    Failure contract (shared with :func:`map_ordered_process`): when any
+    worker raises, items that have not started yet are cancelled, items
+    already running drain to completion, and the exception that propagates
+    is deterministically the one from the **earliest item in input order**
+    among the failures that occurred — not whichever failure happened to
+    be raised first chronologically.  Items after a failure may therefore
+    never run, mirroring the inline path (zero or one item, or
+    ``max_workers=1``), where the first failure stops the scan.
     """
     items = list(items)
     workers = max_workers if max_workers is not None else default_workers(len(items))
     if len(items) <= 1 or workers <= 1:
         return [fn(item) for item in items]
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+        return _run_ordered(pool, fn, items)
+
+
+# ---------------------------------------------------------------------------
+# The process backend
+# ---------------------------------------------------------------------------
+
+
+def _process_worker_init(
+    extra_initializer: Optional[Callable[..., None]], extra_initargs: Tuple
+) -> None:
+    """Runs once in every pool worker, before any task.
+
+    Moving the region-uid counter into a per-worker namespace is what makes
+    the artifacts workers send back safe to mix in the parent: without it,
+    every worker would mint uids 1, 2, 3, ... and `Region` equality (which
+    is uid equality) would conflate regions from unrelated programs.
+
+    The worker session is also reset: under the ``fork`` start method the
+    child inherits the parent's module globals, including any session the
+    *parent* ran inline — its artifacts carry parent-namespace uids and
+    must not leak into this worker's cache.
+    """
+    global _WORKER_SESSION
+    from ..regions.constraints import Region
+
+    Region.namespace_uids()
+    _WORKER_SESSION = None
+    if extra_initializer is not None:
+        extra_initializer(*extra_initargs)
+
+
+def map_ordered_process(
+    fn: Callable[[_I], _O],
+    items: Sequence[_I],
+    *,
+    max_workers: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+) -> List[_O]:
+    """The :func:`map_ordered` contract on a process pool.
+
+    ``fn`` must be a module-level callable and every item and result must
+    pickle.  Workers have their region-uid namespace rebased before
+    ``initializer`` (if any) runs, so results can be safely unpickled,
+    cached and compared in the parent.  With zero or one item, or
+    ``max_workers=1``, runs inline in this process — no pool, no pickling,
+    identical semantics.
+    """
+    items = list(items)
+    workers = (
+        max_workers
+        if max_workers is not None
+        else default_workers(len(items), backend="process")
+    )
+    if len(items) <= 1 or workers <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_process_worker_init,
+        initargs=(initializer, initargs),
+    ) as pool:
+        return _run_ordered(pool, fn, items)
+
+
+# -- the per-worker session ---------------------------------------------------
+
+#: each pool worker keeps one Session for its whole life, so duplicate
+#: sources across the tasks it serves are worker-side cache hits
+_WORKER_SESSION: Optional[Any] = None
+
+
+def worker_session() -> Any:
+    """This process's long-lived worker :class:`~repro.api.Session`."""
+    global _WORKER_SESSION
+    if _WORKER_SESSION is None:
+        from .session import Session  # deferred: session imports executor
+
+        _WORKER_SESSION = Session()
+    return _WORKER_SESSION
+
+
+def _stats_delta(
+    before: Dict[str, Dict[str, int]], after: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Per-bucket counter difference between two ``SessionStats.as_dict``s."""
+    delta: Dict[str, Dict[str, int]] = {}
+    for bucket, counts in after.items():
+        changed = {
+            kind: n - before.get(bucket, {}).get(kind, 0)
+            for kind, n in counts.items()
+            if n - before.get(bucket, {}).get(kind, 0)
+        }
+        if changed:
+            delta[bucket] = changed
+    return delta
+
+
+def _infer_task(payload: Tuple[str, Any]) -> Tuple[Any, Optional[Exception], Dict]:
+    """Process-pool task: infer one source on this worker's session.
+
+    Returns ``(result, failure, stats_delta)`` — failures travel back as
+    values (not raises) so one bad program cannot poison a batch, and the
+    stats delta lets the parent session account for worker-side cache
+    traffic.
+    """
+    from .pipeline import StageFailure  # deferred: pipeline imports executor
+
+    source, config = payload
+    session = worker_session()
+    before = session.stats.as_dict()
+    result: Any = None
+    failure: Optional[Exception] = None
+    try:
+        result = session.infer(source, config)
+    except StageFailure as err:
+        failure = err
+    return result, failure, _stats_delta(before, session.stats.as_dict())

@@ -73,6 +73,13 @@ class StageFailure(Exception):
         detail = "; ".join(str(d) for d in self.diagnostics[:3]) or "stage failed"
         super().__init__(f"stage {stage!r} failed: {detail}")
 
+    def __reduce__(self):
+        # Exception's default reduce replays ``args`` (the formatted
+        # message) into ``__init__``, which takes (stage, diagnostics) —
+        # unpicklable without this.  The process-pool executor ships these
+        # across worker boundaries, so rebuild from the real fields.
+        return (StageFailure, (self.stage, self.diagnostics))
+
 
 @dataclass
 class StageResult:
@@ -88,10 +95,22 @@ class StageResult:
     cached: bool = False
     #: the stage never ran because an earlier stage failed
     skipped: bool = False
+    #: for skipped stages: the stage result that actually failed (the root
+    #: of the skip chain), so failures are never blamed on a stage that
+    #: never ran
+    cause: Optional["StageResult"] = None
 
     def unwrap(self) -> Any:
-        """The stage value, or :class:`StageFailure` if the stage failed."""
+        """The stage value, or :class:`StageFailure` if the stage failed.
+
+        A *skipped* stage re-raises on behalf of its :attr:`cause`: the
+        failure names the stage that actually failed (parse, typecheck,
+        annotate, ...) and carries that stage's diagnostics, not an empty
+        report attributed to a stage that never ran.
+        """
         if not self.ok:
+            if self.skipped and self.cause is not None:
+                raise StageFailure(self.cause.stage, self.cause.diagnostics)
             raise StageFailure(self.stage, self.diagnostics)
         return self.value
 
@@ -137,8 +156,10 @@ class Pipeline:
         self._results: dict = {}
 
     # -- plumbing ----------------------------------------------------------
-    def _skipped(self, name: str, memo: Hashable) -> StageResult:
-        result = StageResult(stage=name, ok=False, skipped=True)
+    def _skipped(self, name: str, memo: Hashable, prev: StageResult) -> StageResult:
+        # chain through already-skipped predecessors to the root failure
+        cause = prev.cause if prev.skipped and prev.cause is not None else prev
+        result = StageResult(stage=name, ok=False, skipped=True, cause=cause)
         self._results[memo] = result
         return result
 
@@ -211,7 +232,7 @@ class Pipeline:
             return self._results["typecheck"]
         prev = self.parse()
         if not prev.ok:
-            return self._skipped("typecheck", "typecheck")
+            return self._skipped("typecheck", "typecheck", prev)
         program = prev.value
         return self._run_stage(
             "typecheck",
@@ -226,7 +247,7 @@ class Pipeline:
             return self._results["annotate"]
         prev = self.typecheck()
         if not prev.ok:
-            return self._skipped("annotate", "annotate")
+            return self._skipped("annotate", "annotate", prev)
         program = self._results["parse"].value
         table = prev.value
         return self._run_stage(
@@ -242,7 +263,7 @@ class Pipeline:
             return self._results["infer"]
         prev = self.annotate()
         if not prev.ok:
-            return self._skipped("infer", "infer")
+            return self._skipped("infer", "infer", prev)
         annotated = prev.value
         return self._run_stage(
             "infer",
@@ -265,7 +286,7 @@ class Pipeline:
             return self._results["verify"]
         prev = self.infer()
         if not prev.ok:
-            return self._skipped("verify", "verify")
+            return self._skipped("verify", "verify", prev)
         start = time.perf_counter()
         report = check_target(
             prev.value.target,
@@ -304,7 +325,7 @@ class Pipeline:
             return self._results[memo]
         prev = self.infer()
         if not prev.ok:
-            return self._skipped("execute", memo)
+            return self._skipped("execute", memo, prev)
         start = time.perf_counter()
         try:
             kwargs = {}
@@ -360,6 +381,23 @@ class Pipeline:
             if not result.ok:
                 break
         return out
+
+    def failure(self) -> Optional[StageResult]:
+        """The earliest stage that actually *failed*, if any.
+
+        Skipped placeholders (stages that never ran because a predecessor
+        failed) are not failures; this walks the memoised results in stage
+        order and returns the first one that ran and came back not-ok —
+        the stage to blame in a :class:`StageFailure`.
+        """
+        ordered = sorted(
+            {id(r): r for r in self._results.values()}.values(),
+            key=lambda r: STAGES.index(r.stage),
+        )
+        for result in ordered:
+            if not result.ok and not result.skipped:
+                return result
+        return None
 
     def diagnostics(self) -> List[Diagnostic]:
         """Every diagnostic gathered so far, in stage order."""

@@ -36,8 +36,15 @@ from typing import (
 
 from ..checking import CheckReport
 from ..core import InferenceConfig, InferenceResult
-from .executor import ExecutionResult, map_ordered
-from .pipeline import Pipeline, StageFailure, StageResult
+from .executor import (
+    ExecutionResult,
+    _infer_task,
+    default_workers,
+    map_ordered,
+    map_ordered_process,
+    resolve_backend,
+)
+from .pipeline import Pipeline, StageFailure, StageResult, config_key
 
 __all__ = ["Session", "SessionStats"]
 
@@ -60,6 +67,26 @@ class SessionStats:
 
     def record_eviction(self, kind: str) -> None:
         self.evictions[kind] = self.evictions.get(kind, 0) + 1
+
+    def merge(self, delta: Dict[str, Dict[str, int]]) -> None:
+        """Fold another stats snapshot (or delta) into these counters.
+
+        Used by the process backend: each worker task reports the cache
+        traffic its worker-side session generated, and the parent session
+        accounts for it here, so ``Session.stats`` stays the one observable
+        total regardless of backend.
+        """
+        buckets = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+        for bucket_name, counts in delta.items():
+            bucket = buckets.get(bucket_name)
+            if bucket is None:
+                continue
+            for kind, n in counts.items():
+                bucket[kind] = bucket.get(kind, 0) + n
 
     def hit_count(self, kind: Optional[str] = None) -> int:
         if kind is not None:
@@ -143,6 +170,16 @@ class _ArtifactStore:
                     self._stats.record_eviction(evicted_kind)
         return winner, False
 
+    def contains(self, kind: str, key: Hashable) -> bool:
+        """Membership test with no side effects (no stats, no LRU refresh).
+
+        The process backend uses this to split a batch into parent-cache
+        hits and work to ship; the authoritative lookup (and the stats
+        record) still happens through :meth:`get_or_build` at assembly.
+        """
+        with self._lock:
+            return (kind, key) in self._data
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
@@ -164,6 +201,11 @@ class Session:
     serving many distinct programs evicts its least-recently-used artifacts
     instead of growing without bound (evictions are visible in
     :attr:`Session.stats`).  ``None`` (the default) keeps every artifact.
+
+    ``backend`` is the default executor backend for this session's batch
+    entry points (``"thread"``, ``"process"`` or ``"auto"``; see
+    :mod:`repro.api.executor`).  Every batch call accepts a per-call
+    override.
     """
 
     def __init__(
@@ -172,10 +214,12 @@ class Session:
         *,
         max_workers: Optional[int] = None,
         max_cache_entries: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         self.config = config or InferenceConfig()
         self.max_workers = max_workers
         self.max_cache_entries = max_cache_entries
+        self.backend = backend
         self.stats = SessionStats()
         self._store = _ArtifactStore(self.stats, max_entries=max_cache_entries)
 
@@ -212,13 +256,18 @@ class Session:
 
         Always returns the :class:`CheckReport` when verification ran
         (inspect ``report.ok``); raises :class:`StageFailure` when an
-        earlier stage (parse/typecheck/infer) failed and there is no
-        report to return.
+        earlier stage (parse/typecheck/annotate/infer) failed and there is
+        no report to return — the failure names the stage that actually
+        failed, not the verify stage that never got to run.
         """
         pipe = self.pipeline(source, config)
         stage = pipe.verify()
         if stage.skipped:
-            raise StageFailure("verify", pipe.diagnostics())
+            failed = pipe.failure()
+            raise StageFailure(
+                failed.stage if failed is not None else "verify",
+                pipe.diagnostics(),
+            )
         return stage.value
 
     def execute(
@@ -255,18 +304,134 @@ class Session:
         config: Optional[InferenceConfig] = None,
         *,
         max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        return_exceptions: bool = False,
     ) -> List[InferenceResult]:
         """Batch inference over many programs on a worker pool.
 
         Results are returned in input order regardless of completion
         order; duplicate sources resolve to the same cached result.  The
-        first failing program raises its ``StageFailure`` (use
-        :meth:`run_many` for per-program stage results instead).
+        failing program earliest in input order raises its
+        ``StageFailure``; with ``return_exceptions=True`` failures come
+        back *as list entries* instead (every program runs), which is what
+        the ``batch`` CLI subcommand reports from.
+
+        ``backend`` selects the executor (``"thread"``, ``"process"``,
+        ``"auto"``; default: the session's ``backend``, else thread).  On
+        the process backend each worker runs its own session and pickles
+        results back; successful results land in this session's cache, the
+        workers' cache traffic is merged into :attr:`Session.stats`, and
+        worker-minted regions live in per-worker uid namespaces so results
+        from different workers never collide.
         """
+        sources = list(sources)
         workers = max_workers if max_workers is not None else self.max_workers
-        return map_ordered(
-            lambda src: self.infer(src, config), sources, max_workers=workers
+        resolved = resolve_backend(
+            backend if backend is not None else self.backend, len(sources)
         )
+        if resolved == "process":
+            return self._infer_many_process(
+                sources,
+                config,
+                max_workers=workers,
+                return_exceptions=return_exceptions,
+            )
+
+        def one(src: str):
+            if not return_exceptions:
+                return self.infer(src, config)
+            try:
+                return self.infer(src, config)
+            except StageFailure as err:
+                return err
+
+        return map_ordered(one, sources, max_workers=workers)
+
+    def _infer_many_process(
+        self,
+        sources: List[str],
+        config: Optional[InferenceConfig],
+        *,
+        max_workers: Optional[int],
+        return_exceptions: bool,
+    ) -> List[InferenceResult]:
+        """The process-backend half of :meth:`infer_many`.
+
+        Only parent-cache misses are shipped (each unique source once);
+        worker results are installed into the parent cache through the
+        ordinary ``get_or_build`` path so hit/miss accounting and LRU
+        bounds behave exactly as on the thread backend.
+        """
+        cfg = config or self.config
+        ck = config_key(cfg)
+        unique = list(dict.fromkeys(sources))
+        pending = [
+            src
+            for src in unique
+            if not self._store.contains("infer", (_source_key(src), ck))
+        ]
+        workers = (
+            max_workers
+            if max_workers is not None
+            else default_workers(len(pending), backend="process")
+        )
+        if pending and (len(pending) <= 1 or workers <= 1):
+            # degenerate pool: the work would run inline in this process
+            # anyway, so run it on *this* session — same results, and the
+            # parent keeps the only artifact cache (no hidden, unbounded
+            # worker session accumulating duplicates in a long-lived
+            # service)
+            return self.infer_many(
+                sources,
+                cfg,
+                max_workers=1,
+                backend="thread",
+                return_exceptions=return_exceptions,
+            )
+        outcomes = map_ordered_process(
+            _infer_task,
+            [(src, cfg) for src in pending],
+            max_workers=workers,
+        )
+        shipped: Dict[str, InferenceResult] = {}
+        failures: Dict[str, StageFailure] = {}
+        for src, (result, failure, delta) in zip(pending, outcomes):
+            # worker-side traffic is real cache activity, but it is not
+            # *this* store's: account for it under a ``worker.`` prefix so
+            # parent counters keep meaning "the parent cache"
+            self.stats.merge(
+                {
+                    bucket: {f"worker.{kind}": n for kind, n in counts.items()}
+                    for bucket, counts in delta.items()
+                }
+            )
+            if failure is not None:
+                failures[src] = failure
+            else:
+                shipped[src] = result
+        if failures and not return_exceptions:
+            # deterministic: blame the earliest failing source in input order
+            raise next(failures[src] for src in sources if src in failures)
+        out: List[InferenceResult] = []
+        for src in sources:
+            if src in failures:
+                out.append(failures[src])  # type: ignore[arg-type]
+                continue
+            # shipped results install here (a parent miss, built remotely);
+            # sources that were parent hits at split time resolve without
+            # re-parsing — the builder only runs again in the rare race
+            # where the LRU evicted the entry mid-batch
+            value, _ = self._store.get_or_build(
+                "infer",
+                (_source_key(src), ck),
+                lambda src=src: (
+                    shipped[src]
+                    if src in shipped
+                    else self.pipeline(src, cfg).infer().unwrap()
+                ),
+            )
+            out.append(value)
+        return out
 
     def run_many(
         self,
@@ -276,7 +441,14 @@ class Session:
         until: str = "verify",
         max_workers: Optional[int] = None,
     ) -> List[List[StageResult]]:
-        """Batch :meth:`Pipeline.run` — never raises; per-program results."""
+        """Batch :meth:`Pipeline.run` — never raises; per-program results.
+
+        Always thread-pooled: stage results carry arbitrary intermediate
+        artifacts, which the pickling contract of the process backend does
+        not cover (use :meth:`infer_many` with
+        ``backend="process", return_exceptions=True`` for a multi-core
+        batch with per-program failures).
+        """
         workers = max_workers if max_workers is not None else self.max_workers
         return map_ordered(
             lambda src: self.pipeline(src, config).run(until),

@@ -13,6 +13,14 @@ Fig 9 suite goes through :meth:`Session.infer_many` as one batch.  Reported
 "inference seconds" are therefore pure engine time
 (:attr:`InferenceResult.elapsed`), not parse time.
 
+Both table builders accept ``backend=`` / ``max_workers=``: with
+``backend="process"`` the whole evaluation — every (program, mode)
+measurement of Fig 8, and the infer+verify pass of Fig 9 — fans out over
+a process pool (one long-lived :class:`~repro.api.Session` per worker),
+which is how the embarrassingly parallel Fig 9 batch uses every core.
+Reported engine times stay per-program (each worker times its own run),
+but wall-clock for the whole table drops with the core count.
+
 Absolute times and sizes differ from the paper (Python tree-walker vs GHC
 prototype, scaled inputs); the reproduction target is the *shape*: which
 programs reuse space, under which subtyping mode, and that inference stays
@@ -26,7 +34,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..api import Session
-from ..api.executor import map_ordered
+from ..api.executor import (
+    map_ordered,
+    map_ordered_process,
+    resolve_backend,
+    worker_session,
+)
 from ..core import InferenceConfig, SubtypingMode
 from ..lang.pretty import pretty_target
 from .olden import OLDEN_PROGRAMS, OldenProgram
@@ -183,41 +196,102 @@ def measure_program(
     return t_inf, t_chk, ratio, result.total_localized, ann
 
 
+def _fig8_task(payload: Tuple[str, str, bool, Tuple[int, ...]]):
+    """Process-pool task: one (program, mode) measurement of the Fig 8 pass.
+
+    Ships only the program *name* (workers import the corpus themselves)
+    and runs on the worker's long-lived session, so the three modes of one
+    program still share a parse whenever they land on the same worker.
+    """
+    name, mode_value, run, args = payload
+    return measure_program(
+        REGJAVA_PROGRAMS[name],
+        SubtypingMode(mode_value),
+        run=run,
+        args=list(args),
+        session=worker_session(),
+    )
+
+
 def fig8_rows(
     *,
     run: bool = True,
     quick: bool = False,
     names: Optional[Sequence[str]] = None,
     session: Optional[Session] = None,
+    max_workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[Fig8Row]:
-    """Measure every RegJava program (or the named subset)."""
-    session = session or Session()
-    rows: List[Fig8Row] = []
-    for name, program in REGJAVA_PROGRAMS.items():
-        if names is not None and name not in names:
-            continue
+    """Measure every RegJava program (or the named subset).
+
+    With ``backend="process"`` the (program, mode) measurements — the
+    inference *and* the interpreter execution pass, which dominates — fan
+    out over a process pool.  The thread backend stays serial unless
+    ``max_workers`` is passed explicitly: GIL contention would inflate the
+    per-program engine times the table exists to report.
+    """
+    selected = [
+        (name, program)
+        for name, program in REGJAVA_PROGRAMS.items()
+        if names is None or name in names
+    ]
+    tasks: List[Tuple[str, Any, SubtypingMode, Sequence[int]]] = []
+    for name, program in selected:
         args = program.test_args if quick else program.run_args
-        row = Fig8Row(
-            name=name,
-            source_lines=_source_lines(program.source),
-            annotation_lines=0,
-            inference_seconds=0.0,
-            checking_seconds=0.0,
-            input_label=str(args[0]),
-            paper=program.paper,
-        )
         for mode in MODES:
-            t_inf, t_chk, ratio, localized, ann = measure_program(
-                program, mode, run=run, args=args, session=session
+            tasks.append((name, program, mode, args))
+    resolved = resolve_backend(
+        backend if backend is not None else getattr(session, "backend", None),
+        len(tasks),
+    )
+    if resolved == "process":
+        measured = map_ordered_process(
+            _fig8_task,
+            [(name, mode.value, run, tuple(args)) for name, _, mode, args in tasks],
+            max_workers=max_workers,
+        )
+    else:
+        session = session or Session()
+        measured = map_ordered(
+            lambda t: measure_program(t[1], t[2], run=run, args=t[3], session=session),
+            tasks,
+            max_workers=max_workers if max_workers is not None else 1,
+        )
+    rows_by_name: Dict[str, Fig8Row] = {}
+    for (name, program, mode, args), outcome in zip(tasks, measured):
+        t_inf, t_chk, ratio, localized, ann = outcome
+        row = rows_by_name.get(name)
+        if row is None:
+            row = rows_by_name[name] = Fig8Row(
+                name=name,
+                source_lines=_source_lines(program.source),
+                annotation_lines=0,
+                inference_seconds=0.0,
+                checking_seconds=0.0,
+                input_label=str(args[0]),
+                paper=program.paper,
             )
-            row.ratios[mode.value] = ratio
-            row.localized[mode.value] = localized
-            if mode is SubtypingMode.FIELD:
-                row.inference_seconds = t_inf
-                row.checking_seconds = t_chk
-                row.annotation_lines = ann
-        rows.append(row)
-    return rows
+        row.ratios[mode.value] = ratio
+        row.localized[mode.value] = localized
+        if mode is SubtypingMode.FIELD:
+            row.inference_seconds = t_inf
+            row.checking_seconds = t_chk
+            row.annotation_lines = ann
+    return [rows_by_name[name] for name, _ in selected]
+
+
+def _fig9_task(payload: Tuple[str, Optional[InferenceConfig]]):
+    """Process-pool task: infer + verify one Olden program.
+
+    One combined task per program, so the verification pass reuses the
+    worker session's just-inferred artifacts instead of paying a second
+    inference in a separate pool.  The caller's config ships with the
+    source: worker sessions must infer under the same knobs as the
+    thread path, which uses the parent session's config.
+    """
+    source, config = payload
+    session = worker_session()
+    return session.infer(source, config), session.check(source, config)
 
 
 def fig9_rows(
@@ -225,14 +299,17 @@ def fig9_rows(
     *,
     session: Optional[Session] = None,
     max_workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[Fig9Row]:
     """Measure inference time for every Olden program.
 
     The whole suite is inferred as one :meth:`Session.infer_many` batch,
-    and the per-program verification pass runs on the same worker pool;
-    each program's reported time is its engine time
-    (:attr:`InferenceResult.elapsed`), so the worker pool does not distort
-    per-program numbers.
+    and the per-program verification pass runs on the same worker pool
+    (with ``backend="process"``, infer and verify ship as one combined
+    task per program over a process pool — the paper's embarrassingly
+    parallel Fig 9 evaluation on every core); each program's reported time
+    is its engine time (:attr:`InferenceResult.elapsed`), so the worker
+    pool does not distort per-program numbers.
     """
     session = session or Session()
     selected = [
@@ -240,14 +317,25 @@ def fig9_rows(
         for name, program in OLDEN_PROGRAMS.items()
         if names is None or name in names
     ]
-    results = session.infer_many(
-        [program.source for _, program in selected], max_workers=max_workers
+    sources = [program.source for _, program in selected]
+    resolved = resolve_backend(
+        backend if backend is not None else session.backend, len(sources)
     )
-    reports = map_ordered(
-        lambda program: session.check(program.source),
-        [program for _, program in selected],
-        max_workers=max_workers,
-    )
+    if resolved == "process":
+        outcomes = map_ordered_process(
+            _fig9_task,
+            [(source, session.config) for source in sources],
+            max_workers=max_workers,
+        )
+        results = [result for result, _ in outcomes]
+        reports = [report for _, report in outcomes]
+    else:
+        results = session.infer_many(sources, max_workers=max_workers)
+        reports = map_ordered(
+            lambda program: session.check(program.source),
+            [program for _, program in selected],
+            max_workers=max_workers,
+        )
     rows: List[Fig9Row] = []
     for (name, program), result, report in zip(selected, results, reports):
         if not report.ok:

@@ -156,7 +156,18 @@ class AnnotatedProgram:
 
 @dataclass
 class InferenceResult:
-    """The annotated program plus inference metadata."""
+    """The annotated program plus inference metadata.
+
+    Results pickle by value — the target AST, class table, schemes and
+    config are all plain data — which is what lets the process-pool
+    executor (:mod:`repro.api.executor`) ship them between workers and the
+    parent.  The one global ingredient is the region-uid counter: a result
+    unpickled from another process carries that process's uids, so
+    processes exchanging results must mint uids in disjoint namespaces
+    (:meth:`repro.regions.constraints.Region.namespace_uids`); the
+    distinguished heap/null regions always unpickle to the local
+    singletons.
+    """
 
     target: T.TProgram
     table: ClassTable
@@ -173,6 +184,24 @@ class InferenceResult:
     @property
     def total_localized(self) -> int:
         return sum(self.localized_regions.values())
+
+    def fingerprint(self) -> Dict[str, Tuple[int, int]]:
+        """A structural identity, stable across runs and processes.
+
+        Region uids come from a per-process counter, so raw uids are never
+        comparable between two inference runs; the *structure* — each
+        method's region arity and its count of localised regions — is.
+        Used by the differential tests to assert that the thread and
+        process executor backends produce the same inference.
+        """
+        return {
+            qualified: (
+                len(scheme.region_params),
+                self.localized_regions[qualified],
+            )
+            for qualified, scheme in self.schemes.items()
+            if qualified in self.localized_regions
+        }
 
 
 class _Ctx:

@@ -97,6 +97,32 @@ class RegionSolver:
         self._bit = None
         self._reach = None
 
+    # -- pickling -------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the graph without the memoised reachability bitsets.
+
+        The dense representative numbering behind ``_bit``/``_reach`` is an
+        artifact of *this* process's query history; shipping it across a
+        process boundary wastes payload and would pin a numbering the
+        receiver never audits.  The closure flag survives (closing is a
+        graph property), and the first query on the unpickled solver
+        rebuilds the bitsets from the closed graph.
+        """
+        return {
+            "parent": self._parent,
+            "succ": self._succ,
+            "pred": self._pred,
+            "closed": self._closed,
+        }
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self._parent = state["parent"]  # type: ignore[assignment]
+        self._succ = state["succ"]  # type: ignore[assignment]
+        self._pred = state["pred"]  # type: ignore[assignment]
+        self._closed = bool(state["closed"])
+        self._bit = None
+        self._reach = None
+
     # -- union-find -----------------------------------------------------------
     def _ensure(self, r: Region) -> Region:
         if r not in self._parent:

@@ -88,6 +88,27 @@ class TestShortCircuit(object):
         with pytest.raises(StageFailure):
             infer.unwrap()
 
+    def test_skipped_unwrap_blames_the_root_cause(self):
+        pipe = Pipeline(BAD_PARSE)
+        infer = pipe.infer()
+        assert infer.cause is not None and infer.cause.stage == "parse"
+        with pytest.raises(StageFailure) as exc:
+            infer.unwrap()
+        assert exc.value.stage == "parse"
+        assert exc.value.diagnostics == pipe.parse().diagnostics
+
+    def test_failure_helper_finds_the_failing_stage(self):
+        pipe = Pipeline(BAD_PARSE)
+        assert pipe.failure() is None  # nothing ran yet
+        pipe.infer()
+        failed = pipe.failure()
+        assert failed is not None
+        assert failed.stage == "parse" and not failed.skipped
+
+        ok = Pipeline(GOOD)
+        ok.run("verify")
+        assert ok.failure() is None
+
     def test_type_error_carries_span(self):
         pipe = Pipeline(BAD_TYPE, filename="t.cj")
         results = pipe.run("verify")

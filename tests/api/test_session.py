@@ -123,6 +123,33 @@ class TestConveniences(object):
             session.check("class Broken {")
         assert exc.value.diagnostics[0].code == "parse-error"
 
+    def test_check_failure_names_the_stage_that_actually_failed(self):
+        # regression: a parse failure used to surface as
+        # StageFailure("verify", ...) because verify was merely skipped
+        from repro.api import StageFailure
+
+        with pytest.raises(StageFailure) as exc:
+            Session().check("class Broken {")
+        assert exc.value.stage == "parse"
+
+        bad_type = (
+            "class A extends Object { int x; }\n"
+            "int main(int n) { new A(true).x }"
+        )
+        with pytest.raises(StageFailure) as exc:
+            Session().check(bad_type)
+        assert exc.value.stage == "typecheck"
+        assert exc.value.diagnostics[0].code == "normal-type-error"
+
+    def test_infer_failure_names_the_stage_that_actually_failed(self):
+        # the same misattribution existed in every skipped-stage unwrap
+        from repro.api import StageFailure
+
+        with pytest.raises(StageFailure) as exc:
+            Session().infer("class Broken {")
+        assert exc.value.stage == "parse"
+        assert exc.value.diagnostics  # and carries the real diagnostics
+
     def test_execute(self):
         session = Session()
         execution = session.execute(PROGRAM, "main", [5])

@@ -68,3 +68,72 @@ class TestRun(object):
         path.write_text("int double(int n) { 2 * n }")
         assert main(["run", str(path), "--entry", "double", "--args", "21"]) == 0
         assert "result: 42" in capsys.readouterr().out
+
+
+BROKEN = "class Broken extends Object { int"
+
+
+@pytest.fixture()
+def batch_files(tmp_path):
+    good1 = tmp_path / "good1.cj"
+    good1.write_text(PROGRAM)
+    good2 = tmp_path / "good2.cj"
+    good2.write_text("int double(int n) { 2 * n }")
+    bad = tmp_path / "bad.cj"
+    bad.write_text(BROKEN)
+    return str(good1), str(good2), str(bad)
+
+
+class TestBatch(object):
+    def test_all_ok(self, batch_files, capsys):
+        good1, good2, _ = batch_files
+        assert main(["batch", good1, good2]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 programs inferred" in out
+
+    def test_failure_reports_stage_and_exits_2(self, batch_files, capsys):
+        good1, _, bad = batch_files
+        assert main(["batch", good1, bad]) == 2
+        out = capsys.readouterr().out
+        assert "FAILED at parse" in out
+        assert "1/2 programs inferred, 1 failed" in out
+
+    def test_json_payload(self, batch_files, capsys):
+        import json
+
+        good1, _, bad = batch_files
+        assert main(["batch", good1, bad, "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert [p["ok"] for p in payload["programs"]] == [True, False]
+        assert payload["programs"][1]["stage"] == "parse"
+        assert payload["programs"][1]["diagnostics"][0]["code"] == "parse-error"
+
+    def test_process_backend_and_jobs_flags(self, batch_files, capsys):
+        good1, good2, _ = batch_files
+        assert main(
+            ["batch", good1, good2, "--backend", "process", "--jobs", "2"]
+        ) == 0
+        assert "2/2 programs inferred" in capsys.readouterr().out
+
+    def test_auto_backend(self, batch_files, capsys):
+        good1, good2, _ = batch_files
+        assert main(["batch", good1, good2, "--backend", "auto"]) == 0
+
+    def test_missing_file_is_a_per_file_failure(self, batch_files, tmp_path, capsys):
+        # an unreadable file must not abort the rest of the batch
+        import json
+
+        good1, _, _ = batch_files
+        missing = str(tmp_path / "nope.cj")
+        assert main(["batch", good1, missing, "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["ok"] for p in payload["programs"]] == [True, False]
+        assert payload["programs"][1]["stage"] == "read"
+        assert payload["programs"][1]["diagnostics"][0]["code"] == "io-error"
+
+
+class TestPoolFlags(object):
+    def test_fig9_accepts_backend_and_jobs(self, capsys):
+        assert main(["fig9", "--backend", "thread", "--jobs", "2"]) == 0
+        assert "Fig 9" in capsys.readouterr().out
