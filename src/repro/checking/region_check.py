@@ -195,8 +195,12 @@ class RegionTypeChecker:
     def _closed_solver(self, hypotheses: Constraint) -> RegionSolver:
         """A closed solver for ``hypotheses``, cached per atom set.
 
-        Callers that extend the hypotheses (e.g. letreg axioms) must work
-        on a :meth:`RegionSolver.copy`, never on the cached instance.
+        Queries never mutate the constraint graph, so read-only callers
+        (class-level checks, letreg-free method bodies) use the cached
+        instance directly.  Callers that extend the hypotheses (letreg
+        axioms) must work on a :meth:`RegionSolver.copy`, never on the
+        cached instance; the copy inherits the warm reachability cache and
+        maintains it incrementally as axioms are fed in one at a time.
         """
         solver = self._solvers.get(hypotheses.atoms)
         if solver is None:
@@ -360,9 +364,12 @@ class RegionTypeChecker:
 
     def _check_method(self, method: T.TMethodDecl, owner: Optional[str]) -> None:
         where = f"method {method.qualified_name}"
-        # the method body may extend the hypotheses (letreg axioms), so work
-        # on a copy of the cached closed solver
-        solver = self._closed_solver(self._method_hypotheses(method, owner)).copy()
+        # only a letreg body extends the hypotheses (one axiom per region in
+        # scope, fed to a live solver one at a time); the common letreg-free
+        # path queries the shared cached solver directly, no clone at all
+        solver = self._closed_solver(self._method_hypotheses(method, owner))
+        if any(isinstance(node, T.TLetreg) for node in T.twalk(method.body)):
+            solver = solver.copy()
         env: Dict[str, T.RType] = {}
         if owner is not None:
             env["this"] = T.RClass(owner, self.table.regions_of(owner))

@@ -42,6 +42,7 @@ from ..regions.abstraction import (
     inv_name,
 )
 from ..regions.constraints import (
+    Atom,
     Constraint,
     HEAP,
     NULL_REGION,
@@ -584,20 +585,31 @@ class RegionInference:
         hyp = self._hypotheses(scheme)
         kept = [a for a in abstraction.body.sorted_atoms()]
         # the hypotheses are shared by every drop test: solve them once and
-        # seed each test with a copy instead of re-solving from scratch
-        hyp_solver = RegionSolver(hyp)
-        hyp_solver.close()
+        # warm the reachability cache, then grow each pass's base solver by
+        # re-adding the atoms decided *kept* one at a time (incremental
+        # delta updates on the inherited cache).  Each candidate's trial is
+        # a copy of that base plus the still-undecided suffix, instead of a
+        # from-scratch solve of the whole atom set per candidate.
+        hyp_solver = RegionSolver(hyp).warm()  # copies inherit live bitsets
         changed = True
         while changed:
             changed = False
-            for a in list(kept):
+            base = hyp_solver.copy()
+            decided: List[Atom] = []
+            for i, a in enumerate(kept):
                 if isinstance(a, PredAtom):
+                    decided.append(a)
                     continue
-                trial = hyp_solver.copy()
-                trial.add_constraint(Constraint.of(*(b for b in kept if b is not a)))
+                trial = base.copy()
+                for b in kept[i + 1 :]:
+                    if not isinstance(b, PredAtom):
+                        trial.add_atom(b)
                 if trial.entails_atom(a):
-                    kept.remove(a)
-                    changed = True
+                    changed = True  # dropped: recoverable from the rest
+                else:
+                    decided.append(a)
+                    base.add_atom(a)
+            kept = decided
         self.q.define(
             ConstraintAbstraction(
                 abstraction.name, abstraction.params, Constraint.of(*kept)

@@ -30,7 +30,7 @@ from .constraints import (
     req,
 )
 from .fixpoint import FixpointResult, close_abstraction_env, solve_recursive_abstractions
-from .solver import RegionSolver, coalescing_substitution, entails, solve
+from .solver import RegionSolver, SolverStats, coalescing_substitution, entails, solve
 from .substitution import RegionSubst
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "req",
     "RegionSubst",
     "RegionSolver",
+    "SolverStats",
     "solve",
     "entails",
     "coalescing_substitution",

@@ -32,13 +32,21 @@ Performance model (see ``docs/solver.md``):
   per representative (one ``int`` used as a bitmask over a dense
   representative numbering, computed in a single reverse-topological
   sweep).  ``entails``/``project``/``upward_closure``/``failing_atoms``
-  are all O(1) bit tests per query after the cache is built.  Any
-  mutation (``add_outlives``, ``union``) invalidates the cache; the next
-  query re-closes and rebuilds it.
+  are all O(1) bit tests per query after the cache is built;
+* mutations on a solver whose cache is live are maintained
+  **incrementally**: a cycle-free ``add_outlives``/``union`` updates the
+  descendant bitsets along the affected condensation edges (a
+  reverse-topological dirty-frontier sweep from the changed
+  representative) instead of discarding them.  Only a mutation that
+  creates a new SCC cycle -- or merges ancestors into the heap class --
+  falls back to invalidate-and-rebuild.  :attr:`RegionSolver.stats`
+  counts incremental hits vs. full rebuilds so regressions are
+  observable.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .constraints import (
@@ -52,7 +60,47 @@ from .constraints import (
 )
 from .substitution import RegionSubst
 
-__all__ = ["RegionSolver", "solve", "entails", "coalescing_substitution"]
+__all__ = [
+    "RegionSolver",
+    "SolverStats",
+    "solve",
+    "entails",
+    "coalescing_substitution",
+]
+
+
+@dataclass
+class SolverStats:
+    """Counters for the reachability cache's maintenance behaviour.
+
+    ``incremental_edges``/``incremental_unions`` count mutations absorbed
+    by delta propagation over the live cache; ``cycle_fallbacks`` counts
+    mutations that had to discard it (a new SCC cycle, or a merge that
+    gave the heap class ancestors); ``full_rebuilds`` counts complete
+    close-and-sweep cache constructions (including the very first build).
+    A healthy alternating add/query workload shows ``incremental_hits``
+    close to the mutation count and ``full_rebuilds`` near 1.
+    """
+
+    incremental_edges: int = 0
+    incremental_unions: int = 0
+    cycle_fallbacks: int = 0
+    full_rebuilds: int = 0
+
+    @property
+    def incremental_hits(self) -> int:
+        """Mutations the cache survived without a rebuild."""
+        return self.incremental_edges + self.incremental_unions
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict view (stable keys, for logs and assertions)."""
+        return {
+            "incremental_edges": self.incremental_edges,
+            "incremental_unions": self.incremental_unions,
+            "incremental_hits": self.incremental_hits,
+            "cycle_fallbacks": self.cycle_fallbacks,
+            "full_rebuilds": self.full_rebuilds,
+        }
 
 
 class RegionSolver:
@@ -68,10 +116,18 @@ class RegionSolver:
 
     The solver may be seeded with *hypotheses* (e.g. a class invariant and a
     method precondition during checking) and then asked whether obligations
-    follow.
+    follow.  Mutations interleaved with queries keep the reachability cache
+    live by delta propagation (``incremental=False`` restores the old
+    invalidate-and-rebuild behaviour, used as the baseline in benchmarks
+    and differential tests).
     """
 
-    def __init__(self, constraint: Optional[Constraint] = None):
+    def __init__(
+        self,
+        constraint: Optional[Constraint] = None,
+        *,
+        incremental: bool = True,
+    ):
         # union-find parent pointers; regions are added lazily.
         self._parent: Dict[Region, Region] = {}
         # outlives edges over *representatives*: succ[a] = {b | a >= b}.
@@ -82,11 +138,20 @@ class RegionSolver:
         self._succ: Dict[Region, Set[Region]] = {}
         self._pred: Dict[Region, Set[Region]] = {}
         self._closed = False
+        self._incremental = incremental
         # reachability cache over the closed condensation (built lazily):
-        # _bit numbers the representatives densely; _reach[rep] is the
-        # bitmask of representatives reachable from rep (including itself).
+        # _bit numbers representatives densely (bits are never reused while
+        # the cache lives, so retired reps keep their bit); _reach[rep] is
+        # the bitmask of representatives reachable from rep (including its
+        # own class); _classbits[rep] ORs the bits of every original
+        # representative merged into rep's class, so "x reaches rep's
+        # class" is `_reach[x] & _classbits[rep]` even after incremental
+        # unions.
         self._bit: Optional[Dict[Region, int]] = None
         self._reach: Optional[Dict[Region, int]] = None
+        self._classbits: Optional[Dict[Region, int]] = None
+        #: cache-maintenance counters; see :class:`SolverStats`
+        self.stats = SolverStats()
         if constraint is not None:
             self.add_constraint(constraint)
 
@@ -96,6 +161,70 @@ class RegionSolver:
         self._closed = False
         self._bit = None
         self._reach = None
+        self._classbits = None
+
+    @property
+    def _cache_live(self) -> bool:
+        """Is the bitset cache valid for the current (closed) graph?
+
+        The incremental paths only maintain a cache that exists; while it
+        is ``None`` (before the first query, or after a fallback) mutations
+        cost nothing and the next query rebuilds once.
+        """
+        return self._reach is not None
+
+    def _cache_enter(self, rep: Region) -> None:
+        """Give a brand-new representative its bit and singleton bitsets."""
+        assert self._bit is not None and self._reach is not None
+        assert self._classbits is not None
+        if rep in self._reach:
+            return
+        if rep not in self._bit:
+            self._bit[rep] = len(self._bit)
+        own = 1 << self._bit[rep]
+        self._classbits[rep] = own
+        self._reach[rep] = own
+
+    def _propagate(self, start: Region) -> None:
+        """Push ``start``'s enlarged descendant bitset to its ancestors.
+
+        The worklist is the *dirty frontier*: a representative whose mask
+        grew re-enters it, and each predecessor ORs in only the missing
+        bits, so the sweep visits exactly the condensation edges along
+        which reachability actually changed (reverse-topological order is
+        irrelevant for correctness -- the update is monotone -- and the
+        frontier converges because masks only grow over a finite bit set).
+        """
+        assert self._reach is not None
+        masks = self._reach
+        pred = self._pred
+        work = [start]
+        while work:
+            node = work.pop()
+            mask = masks[node]
+            for p in pred[node]:
+                add = mask & ~masks[p]
+                if add:
+                    masks[p] |= add
+                    work.append(p)
+
+    def _merge_creates_cycle(self, ra: Region, rb: Region) -> bool:
+        """Would uniting ``ra`` and ``rb`` create a cycle in the closed DAG?
+
+        A cycle appears iff a path of length >= 2 connects the two classes
+        (a direct edge simply collapses into the merged class).  With the
+        descendant bitsets live this is an O(degree) test: does any
+        successor of one class, other than the other class itself, reach
+        the other class?  At most one direction can be reachable at all --
+        mutual reachability would already have been a cycle.
+        """
+        assert self._reach is not None and self._classbits is not None
+        masks, classbits = self._reach, self._classbits
+        for x, y in ((ra, rb), (rb, ra)):
+            if masks[x] & classbits[y]:
+                if any(s != y and masks[s] & classbits[y] for s in self._succ[x]):
+                    return True
+        return False
 
     # -- pickling -------------------------------------------------------------
     def __getstate__(self) -> Dict[str, object]:
@@ -106,13 +235,15 @@ class RegionSolver:
         process boundary wastes payload and would pin a numbering the
         receiver never audits.  The closure flag survives (closing is a
         graph property), and the first query on the unpickled solver
-        rebuilds the bitsets from the closed graph.
+        rebuilds the bitsets from the closed graph.  The stats counters are
+        process-local observability and restart at zero.
         """
         return {
             "parent": self._parent,
             "succ": self._succ,
             "pred": self._pred,
             "closed": self._closed,
+            "incremental": self._incremental,
         }
 
     def __setstate__(self, state: Dict[str, object]) -> None:
@@ -120,8 +251,11 @@ class RegionSolver:
         self._succ = state["succ"]  # type: ignore[assignment]
         self._pred = state["pred"]  # type: ignore[assignment]
         self._closed = bool(state["closed"])
+        self._incremental = bool(state.get("incremental", True))
         self._bit = None
         self._reach = None
+        self._classbits = None
+        self.stats = SolverStats()
 
     # -- union-find -----------------------------------------------------------
     def _ensure(self, r: Region) -> Region:
@@ -152,10 +286,22 @@ class RegionSolver:
 
         Cost is O(degree of the dropped representative): its adjacency sets
         are walked once to re-point the mirror edges held by its neighbours.
+        With a live cache the merged class's bitsets are maintained by delta
+        propagation unless the merge would create a cycle in the
+        condensation (then the cache is dropped and the next query
+        re-closes) or would give the heap class ancestors (which must be
+        collapsed into heap by the completion rule in :meth:`close`).
         """
         ra, rb = self._ensure(a), self._ensure(b)
         if ra == rb:
             return ra
+        incremental = self._cache_live and self._incremental
+        if incremental:
+            self._cache_enter(ra)
+            self._cache_enter(rb)
+            if self._merge_creates_cycle(ra, rb):
+                self.stats.cycle_fallbacks += 1
+                incremental = False
         # prefer heap, then null, then the older (smaller-uid) region as rep:
         # older regions are usually interface regions, which keeps projected
         # constraints readable.
@@ -184,12 +330,38 @@ class RegionSolver:
         succ_k.discard(drop)
         pred_k.discard(keep)
         pred_k.discard(drop)
-        self._invalidate()
+        if not incremental:
+            self._invalidate()
+            return keep
+        # delta-merge the bitsets: the merged class reaches the union of
+        # what either class reached, its identity is the union of both
+        # classes' bits, and every ancestor of either class gains the
+        # union via the dirty-frontier sweep.
+        assert self._reach is not None and self._classbits is not None
+        self._classbits[keep] = self._classbits[keep] | self._classbits.pop(drop)
+        self._reach[keep] = self._reach[keep] | self._reach.pop(drop)
+        self._propagate(keep)
+        if keep.is_heap and pred_k:
+            # something now has an outlives path *into* the heap class; the
+            # completion rule of close() must collapse it into heap, so
+            # this merge cannot keep the cache.
+            self.stats.cycle_fallbacks += 1
+            self._invalidate()
+        else:
+            self.stats.incremental_unions += 1
         return keep
 
     # -- building ----------------------------------------------------------------
     def add_outlives(self, left: Region, right: Region) -> None:
-        """Record ``left >= right``."""
+        """Record ``left >= right``.
+
+        With a live cache a cycle-free edge is absorbed incrementally: the
+        new source class inherits the target class's descendant bitset and
+        the delta is swept up the condensation's ancestors.  An edge whose
+        target already reaches its source closes a new SCC cycle -- that
+        one falls back to invalidate-and-rebuild (the next query re-runs
+        Tarjan and collapses the cycle).
+        """
         if left.is_heap or left.is_null or right.is_null or left == right:
             return  # trivially valid
         if right.is_heap:
@@ -204,10 +376,27 @@ class RegionSolver:
             # is again ``left >= heap``
             self.union(left, HEAP)
             return
-        if rb not in self._succ[la]:
-            self._succ[la].add(rb)
-            self._pred[rb].add(la)
+        if rb in self._succ[la]:
+            return
+        self._succ[la].add(rb)
+        self._pred[rb].add(la)
+        if not (self._cache_live and self._incremental):
             self._invalidate()
+            return
+        assert self._reach is not None and self._classbits is not None
+        self._cache_enter(la)
+        self._cache_enter(rb)
+        if self._reach[rb] & self._classbits[la]:
+            # the target reaches back to the source: the new edge closes a
+            # cycle, which only a full re-close can collapse
+            self.stats.cycle_fallbacks += 1
+            self._invalidate()
+            return
+        add = self._reach[rb] & ~self._reach[la]
+        if add:
+            self._reach[la] |= add
+            self._propagate(la)
+        self.stats.incremental_edges += 1
 
     def add_eq(self, left: Region, right: Region) -> None:
         """Record ``left = right``."""
@@ -239,7 +428,8 @@ class RegionSolver:
         A single Tarjan pass suffices: collapsing the SCCs of the current
         graph produces its condensation, which is a DAG by construction, so
         no further cycles can appear.  After closing, entailment is plain
-        reachability.  Idempotent.
+        reachability.  Idempotent -- and a no-op whenever incremental
+        maintenance kept the closure live across mutations.
         """
         if self._closed:
             return
@@ -322,11 +512,13 @@ class RegionSolver:
 
         Built in one reverse-topological sweep (iterative post-order DFS):
         each representative's mask is its own bit OR-ed with its successors'
-        masks.  Valid until the next mutation.
+        masks.  Valid until the next mutation that cannot be maintained
+        incrementally.
         """
         self.close()
         if self._reach is not None:
             return self._reach
+        self.stats.full_rebuilds += 1
         bit: Dict[Region, int] = {}
         masks: Dict[Region, int] = {}
         succ = self._succ
@@ -355,7 +547,21 @@ class RegionSolver:
                 masks[node] = mask
         self._bit = bit
         self._reach = masks
+        self._classbits = {rep: 1 << bit[rep] for rep in masks}
         return masks
+
+    def warm(self) -> "RegionSolver":
+        """Close and build the reachability cache now (idempotent).
+
+        Queries build the cache on demand, but not every query needs it
+        (``same_region`` is pure union-find, and entailment over an empty
+        or equality-only constraint never touches reachability).  Callers
+        about to fan out :meth:`copy`-based what-if tests warm the parent
+        once, so every copy inherits a *live* cache and mutates it
+        incrementally instead of rebuilding per trial.  Returns ``self``.
+        """
+        self._reach_masks()
+        return self
 
     # -- queries ----------------------------------------------------------------
     def same_region(self, a: Region, b: Region) -> bool:
@@ -368,16 +574,22 @@ class RegionSolver:
     def reachable(self, src: Region, dst: Region) -> bool:
         """Is there an outlives path ``src >= ... >= dst``? (on representatives)
 
-        Answered by a bit test against the memoised descendant sets.
+        Answered by a bit test against the memoised descendant sets: the
+        source class's mask intersected with the target *class's* bits
+        (a class carries the bits of every representative merged into it,
+        so incremental unions never stale the test).
         """
         masks = self._reach_masks()
         a, b = self.find(src), self.find(dst)
         if a == b:
             return True
-        if a not in masks or b not in masks:
+        if a not in masks:
             return False  # a region the solver has never seen in an atom
-        assert self._bit is not None
-        return bool(masks[a] >> self._bit[b] & 1)
+        assert self._classbits is not None
+        cb = self._classbits.get(b)
+        if cb is None:
+            return False
+        return bool(masks[a] & cb)
 
     def entails_outlives(self, left: Region, right: Region) -> bool:
         """Does the recorded constraint entail ``left >= right``?"""
@@ -414,16 +626,16 @@ class RegionSolver:
         """
         masks = self._reach_masks()
         targets = list(targets)
-        assert self._bit is not None
+        assert self._classbits is not None
         target_mask = 0
         for t in targets:
             rep = self.find(t)
             if rep in masks:
-                target_mask |= 1 << self._bit[rep]
+                target_mask |= self._classbits[rep]
         reps: Set[Region] = set()
         if target_mask:
             # a representative reaches a target iff its descendant bitset
-            # intersects the targets' bits (each mask includes its own bit)
+            # intersects the targets' bits (each mask includes its own bits)
             reps = {rep for rep, mask in masks.items() if mask & target_mask}
         if targets:
             # the heap class outlives every target unconditionally — even
@@ -500,8 +712,8 @@ class RegionSolver:
         not O(k^2) graph searches.
         """
         masks = self._reach_masks()
-        assert self._bit is not None
-        bit = self._bit
+        assert self._classbits is not None
+        classbits = self._classbits
         iface = [r for r in interface if not r.is_null]
         # Equalities among interface regions.
         eq_atoms: List[Atom] = []
@@ -529,7 +741,8 @@ class RegionSolver:
                 rb = self.find(b)
                 if ra == rb:
                     continue
-                if rb in bit and (mask_a >> bit[rb]) & 1:
+                cb = classbits.get(rb)
+                if cb and mask_a & cb:
                     pairs.add((a, b))
         if transitive_reduce:
             pairs = _transitive_reduction(pairs)
@@ -540,15 +753,23 @@ class RegionSolver:
         """An independent copy (used for what-if entailment tests).
 
         The closure flag and the reachability cache carry over, so copying
-        a closed solver and querying the copy costs no re-closing.
+        a closed solver and querying the copy costs no re-closing -- and
+        with incremental maintenance, *mutating* the copy extends the
+        inherited cache by delta propagation instead of discarding it.
+        The stats counters carry over by value (the copy's mutations do
+        not feed back into the original's counters).
         """
-        dup = RegionSolver()
+        dup = RegionSolver(incremental=self._incremental)
         dup._parent = dict(self._parent)
         dup._succ = {k: set(v) for k, v in self._succ.items()}
         dup._pred = {k: set(v) for k, v in self._pred.items()}
         dup._closed = self._closed
         dup._bit = dict(self._bit) if self._bit is not None else None
         dup._reach = dict(self._reach) if self._reach is not None else None
+        dup._classbits = (
+            dict(self._classbits) if self._classbits is not None else None
+        )
+        dup.stats = replace(self.stats)
         return dup
 
 
