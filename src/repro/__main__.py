@@ -21,7 +21,10 @@ reject}``, ``--entry NAME``, ``--args N [N ...]``, ``--recursion-limit N``,
 ``--quick``.  The batch entry points (``batch``, ``fig8``, ``fig9``) accept
 ``--jobs N`` and ``--backend {thread,process,auto}`` — ``process`` runs the
 batch on a multi-core process pool, ``auto`` picks it whenever the machine
-has more than one core.
+has more than one core.  One CLI invocation owns one
+:class:`~repro.api.Session` and therefore one persistent worker pool: all
+the work a subcommand schedules shares the same workers (and their warm
+caches), and the pool is released when the command exits.
 """
 
 from __future__ import annotations
@@ -444,7 +447,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    session = Session()
+    # one session — and therefore one persistent worker pool — for the
+    # whole invocation: every batch the subcommand schedules (all of
+    # fig8's measurements, fig9's programs, every `batch` file) shares
+    # the same workers and their warm caches
+    session = Session(
+        max_workers=getattr(args, "jobs", None),
+        backend=getattr(args, "backend", None),
+    )
     try:
         return args.func(args, session)
     except BrokenPipeError:
@@ -458,6 +468,8 @@ def main(argv=None) -> int:
         stage = getattr(args, "command", None) or "cli"
         diag = from_exception(err, stage=stage, file=getattr(args, "file", None))
         return _fail(args, stage, [diag])
+    finally:
+        session.close()
 
 
 if __name__ == "__main__":

@@ -19,6 +19,10 @@ remain as thin shims over it):
   process backend escapes the GIL for multi-core batches and is what the
   Fig 8 / Fig 9 benchmark harness and the ``batch`` CLI subcommand fan
   out on.
+* :class:`WorkerPool` — the session-owned *persistent* process pool
+  behind every process-backend batch: spawned lazily once, reused across
+  calls (warm worker caches), respawn-and-retry on killed workers, and
+  released by ``Session.close()`` / the session context manager.
 
 See ``docs/api.md`` for the migration guide from the one-shot calls and
 the backend-selection / pickling contract.
@@ -40,7 +44,15 @@ from .executor import (
     map_ordered_process,
     resolve_backend,
 )
-from .pipeline import STAGES, Pipeline, StageFailure, StageResult, config_key
+from .pipeline import (
+    STAGES,
+    Pipeline,
+    StageFailure,
+    StageResult,
+    StageSummary,
+    config_key,
+)
+from .pool import DEFAULT_WORKER_CACHE_ENTRIES, WorkerPool
 from .session import Session, SessionStats
 
 __all__ = [
@@ -60,7 +72,10 @@ __all__ = [
     "Pipeline",
     "StageFailure",
     "StageResult",
+    "StageSummary",
     "config_key",
+    "DEFAULT_WORKER_CACHE_ENTRIES",
+    "WorkerPool",
     "Session",
     "SessionStats",
 ]

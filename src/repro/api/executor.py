@@ -23,6 +23,12 @@ two order-preserving pools:
 
 Both pools share the same ordering and failure contract, documented on
 :func:`map_ordered`.
+
+:func:`map_ordered_process` spawns a fresh pool per call; sessions route
+their process-backend batches through a persistent, crash-recovering
+:class:`~repro.api.pool.WorkerPool` instead (same contract, but the
+executor and the warm worker caches survive across batches — see
+:mod:`repro.api.pool`).
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ _O = TypeVar("_O")
 
 __all__ = [
     "BACKENDS",
+    "DEFAULT_WORKER_CACHE_ENTRIES",
     "ExecutionResult",
     "default_workers",
     "map_ordered",
@@ -52,6 +59,12 @@ __all__ = [
 
 #: the recognised executor backends (``auto`` resolves to one of the others)
 BACKENDS = ("thread", "process", "auto")
+
+#: artifact-cache bound applied to worker sessions unless the pool that
+#: spawned the worker configures one explicitly: worker sessions can
+#: outlive single calls now (persistent pools, the parent-side inline
+#: session), so the default is bounded, never unlimited
+DEFAULT_WORKER_CACHE_ENTRIES = 256
 
 #: thread pools are GIL-bound: past a handful of workers extra threads only
 #: add contention, so the thread backend caps itself regardless of core count
@@ -178,7 +191,9 @@ def map_ordered(
 
 
 def _process_worker_init(
-    extra_initializer: Optional[Callable[..., None]], extra_initargs: Tuple
+    extra_initializer: Optional[Callable[..., None]],
+    extra_initargs: Tuple,
+    session_kwargs: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Runs once in every pool worker, before any task.
 
@@ -191,12 +206,22 @@ def _process_worker_init(
     child inherits the parent's module globals, including any session the
     *parent* ran inline — its artifacts carry parent-namespace uids and
     must not leak into this worker's cache.
+
+    ``session_kwargs`` configures the worker session this process will
+    lazily create (:func:`worker_session`) — the persistent pool forwards
+    ``max_cache_entries`` here so long-lived workers keep a *bounded*
+    artifact cache instead of growing without limit across batches.
     """
-    global _WORKER_SESSION
+    global _WORKER_SESSION, _WORKER_SESSION_KWARGS
     from ..regions.constraints import Region
 
     Region.namespace_uids()
     _WORKER_SESSION = None
+    _WORKER_SESSION_KWARGS = (
+        dict(session_kwargs)
+        if session_kwargs is not None
+        else {"max_cache_entries": DEFAULT_WORKER_CACHE_ENTRIES}
+    )
     if extra_initializer is not None:
         extra_initializer(*extra_initargs)
 
@@ -242,6 +267,15 @@ def map_ordered_process(
 #: sources across the tasks it serves are worker-side cache hits
 _WORKER_SESSION: Optional[Any] = None
 
+#: constructor kwargs for this worker's session, installed by
+#: :func:`_process_worker_init` (the persistent pool forwards its
+#: ``max_cache_entries`` bound through here).  The module default is
+#: bounded so even a parent-side session created by an inline degenerate
+#: batch cannot grow without limit.
+_WORKER_SESSION_KWARGS: Dict[str, Any] = {
+    "max_cache_entries": DEFAULT_WORKER_CACHE_ENTRIES
+}
+
 
 def worker_session() -> Any:
     """This process's long-lived worker :class:`~repro.api.Session`."""
@@ -249,7 +283,7 @@ def worker_session() -> Any:
     if _WORKER_SESSION is None:
         from .session import Session  # deferred: session imports executor
 
-        _WORKER_SESSION = Session()
+        _WORKER_SESSION = Session(**_WORKER_SESSION_KWARGS)
     return _WORKER_SESSION
 
 
@@ -289,3 +323,24 @@ def _infer_task(payload: Tuple[str, Any]) -> Tuple[Any, Optional[Exception], Dic
     except StageFailure as err:
         failure = err
     return result, failure, _stats_delta(before, session.stats.as_dict())
+
+
+def _run_task(payload: Tuple[str, Any, str]) -> Tuple[List[Any], Dict]:
+    """Process-pool task: run one source through the staged pipeline.
+
+    Returns ``(summaries, stats_delta)`` where ``summaries`` is the
+    reduced, picklable :class:`~repro.api.pipeline.StageSummary` projection
+    of the stage results — full :class:`StageResult`\\ s carry arbitrary
+    intermediate artifacts (ASTs, solvers, reports) that the pickling
+    contract does not cover, so only the projection crosses the process
+    boundary.  ``run`` never raises: per-program failures come back as
+    not-ok summaries, exactly like the thread path.
+    """
+    source, config, until = payload
+    session = worker_session()
+    before = session.stats.as_dict()
+    results = session.pipeline(source, config).run(until)
+    return (
+        [r.summary() for r in results],
+        _stats_delta(before, session.stats.as_dict()),
+    )

@@ -1,0 +1,428 @@
+"""Persistent process pools with crash recovery.
+
+:class:`WorkerPool` is the session-owned arena behind every process-backend
+batch entry point (:meth:`repro.api.Session.infer_many`,
+:meth:`~repro.api.Session.run_many`, the fig8/fig9 harness, the ``batch``
+CLI subcommand).  Where :func:`repro.api.executor.map_ordered_process`
+spawns a fresh :class:`~concurrent.futures.ProcessPoolExecutor` per call —
+re-importing the toolchain in every worker and throwing the warm per-worker
+:class:`~repro.api.Session` caches away at return — a ``WorkerPool``
+
+* **spawns lazily**: the executor comes up on the first batch that needs
+  it (degenerate single-item/single-worker batches with no pool alive run
+  inline, exactly like the one-shot path);
+* **persists**: every later batch reuses the same workers, so repeat
+  batches hit warm worker caches and pay pool spawn once per session, not
+  once per call (the region-arena amortisation the ROADMAP asks for);
+* **recovers from crashes**: a killed worker breaks the whole
+  :class:`~concurrent.futures.ProcessPoolExecutor`; the pool respawns it
+  and retries the affected items exactly once, so one OOM-killed worker
+  does not fail a service's whole batch.  A second break in the same
+  batch propagates the :class:`BrokenProcessPool` — crash loops are not
+  papered over;
+* **bounds worker memory**: worker sessions now outlive single calls, so
+  each is created with a bounded artifact cache (``max_cache_entries``
+  forwarded through the worker initializer;
+  :data:`DEFAULT_WORKER_CACHE_ENTRIES` when the owning session is
+  unbounded);
+* **is observable**: every lifecycle event is counted both on
+  :attr:`WorkerPool.counters` and, when the pool belongs to a session,
+  under the same kinds in ``Session.stats`` events —
+
+  ==========================  =============================================
+  ``pool.spawns``             executors spawned (1 per session lifetime in
+                              the steady state)
+  ``pool.respawns``           crash recoveries (executor replaced after a
+                              :class:`BrokenProcessPool`)
+  ``pool.retried_items``      items re-run because their worker died
+  ``pool.resizes``            executor replaced to honour a larger
+                              ``max_workers`` request
+  ``pool.idle_teardowns``     executors reaped by the idle timeout
+  ==========================  =============================================
+
+Lifecycle: :meth:`WorkerPool.close` (or ``Session.close()`` / ``with
+Session(...) as s:``) shuts the workers down; for long-lived services an
+``idle_timeout`` reaps the executor after a quiet period — the next batch
+simply respawns it, trading warm caches for memory.
+
+The ordering and failure contract of :meth:`WorkerPool.map` is the one
+documented on :func:`repro.api.executor.map_ordered`: results in input
+order, cancel-on-first-failure, and the earliest-input-order exception
+among genuine task failures.  Pool breakage is *not* a task failure — it
+is retried, not raised (until the retry also breaks).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from .executor import (
+    DEFAULT_WORKER_CACHE_ENTRIES,
+    _process_worker_init,
+    default_workers,
+)
+
+_I = TypeVar("_I")
+_O = TypeVar("_O")
+
+__all__ = ["WorkerPool", "DEFAULT_WORKER_CACHE_ENTRIES"]
+
+
+class WorkerPool:
+    """A lazily-spawned, persistent, crash-recovering process pool.
+
+    ``max_workers`` fixes the executor size (``None``: sized per batch by
+    :func:`~repro.api.executor.default_workers`; a later batch asking for
+    *more* workers replaces the executor — counted as a resize — so prefer
+    pinning the size up front for steady-state services).
+    ``max_cache_entries`` bounds each worker session's artifact cache.
+    ``idle_timeout`` (seconds) reaps the executor after a quiet period.
+    ``stats`` is an optional :class:`~repro.api.session.SessionStats`;
+    lifecycle counters are mirrored into its events.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: Optional[int] = None,
+        max_cache_entries: Optional[int] = DEFAULT_WORKER_CACHE_ENTRIES,
+        idle_timeout: Optional[float] = None,
+        stats: Optional[Any] = None,
+    ):
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValueError(f"idle_timeout must be positive, got {idle_timeout}")
+        self._max_workers = max_workers
+        self._max_cache_entries = max_cache_entries
+        self._idle_timeout = idle_timeout
+        self._stats = stats
+        if stats is not None and idle_timeout is not None:
+            # the idle-teardown event is recorded from the timer thread;
+            # pre-registering the key means that write only ever updates
+            # an existing slot, so a concurrent stats reader iterating the
+            # events dict can never see it resize mid-iteration
+            stats.record_event("pool.idle_teardowns", 0)
+        self.counters: Dict[str, int] = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._size = 0
+        self._closed = False
+        self._idle_timer: Optional[threading.Timer] = None
+        #: batches currently inside :meth:`map` — concurrent batches run
+        #: in parallel on the shared executor; this count only gates the
+        #: idle-teardown timer
+        self._active = 0
+        #: guards executor spawn/teardown, the idle timer and the
+        #: active-batch count
+        self._lock = threading.Lock()
+        #: signalled when the active-batch count drops to zero (close()
+        #: drains in-flight batches before tearing the executor down:
+        #: shutting it down under them can abandon their futures
+        #: unresolved and hang their wait forever)
+        self._idle_cv = threading.Condition(self._lock)
+        #: guards the lifecycle counters (written by concurrent batch
+        #: threads and the idle timer; never nests inside other locks)
+        self._counter_lock = threading.Lock()
+
+    # -- observability -----------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether an executor (and its workers) currently exists."""
+        return self._executor is not None
+
+    @property
+    def size(self) -> int:
+        """Worker count of the live executor (0 when none is spawned)."""
+        return self._size if self._executor is not None else 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _record(self, kind: str, n: int = 1) -> None:
+        # concurrent batches (and the idle timer) all write these; the
+        # read-modify-write must not lose increments
+        with self._counter_lock:
+            self.counters[kind] = self.counters.get(kind, 0) + n
+            if self._stats is not None:
+                self._stats.record_event(kind, n)
+
+    # -- lifecycle ---------------------------------------------------------
+    def _ensure(self, desired: int) -> ProcessPoolExecutor:
+        """The live executor, spawning (or growing) it to ``desired``."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            if (
+                self._executor is not None
+                and desired > self._size
+                # never resize under a concurrent batch: replacing the
+                # executor cancels its in-flight futures.  The caller is
+                # itself one active batch; anyone else means deferring —
+                # the width request is best-effort, the narrower live
+                # executor serves this batch too
+                and self._active <= 1
+            ):
+                self._shutdown_locked(wait_=False)
+                self._record("pool.resizes")
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=desired,
+                    initializer=_process_worker_init,
+                    initargs=(
+                        None,
+                        (),
+                        {"max_cache_entries": self._max_cache_entries},
+                    ),
+                )
+                self._size = desired
+                self._record("pool.spawns")
+            return self._executor
+
+    def _shutdown_locked(self, *, wait_: bool) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait_, cancel_futures=True)
+            self._executor = None
+            self._size = 0
+
+    def _discard_broken(self, executor: ProcessPoolExecutor) -> bool:
+        """Replace ``executor`` if it is still the live one.
+
+        Concurrent batches share one executor; when it breaks, every
+        batch sees the breakage, but only the first to get here tears it
+        down (and counts the respawn) — the rest find a replacement
+        already installed and just retry on it.
+        """
+        with self._lock:
+            if self._executor is not executor:
+                return False
+            # dead processes: nothing to join, don't block on them
+            self._shutdown_locked(wait_=False)
+            return True
+
+    def close(self) -> None:
+        """Shut the workers down.  Idempotent; the pool stays closed.
+
+        New batches are refused immediately; batches already in flight
+        are drained first — tearing the executor down under them could
+        abandon their futures unresolved and hang them forever.
+        """
+        with self._lock:
+            self._closed = True
+            self._cancel_idle_timer_locked()
+            while self._active > 0:
+                self._idle_cv.wait()
+            self._shutdown_locked(wait_=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- idle teardown -----------------------------------------------------
+    def _cancel_idle_timer_locked(self) -> None:
+        if self._idle_timer is not None:
+            self._idle_timer.cancel()
+            self._idle_timer = None
+
+    def _arm_idle_timer(self) -> None:
+        with self._lock:
+            self._cancel_idle_timer_locked()
+            if (
+                self._closed
+                or self._idle_timeout is None
+                or self._executor is None
+                or self._active > 0
+            ):
+                return
+            self._idle_timer = threading.Timer(
+                self._idle_timeout, self._idle_teardown
+            )
+            self._idle_timer.daemon = True
+            self._idle_timer.start()
+
+    def _idle_teardown(self) -> None:
+        # an already-fired timer survives cancel(): if a batch started in
+        # the meantime the active count is non-zero, and tearing the
+        # executor down under it would cancel its in-flight futures —
+        # skip; the last batch out re-arms the timer
+        with self._lock:
+            if self._closed or self._executor is None or self._active > 0:
+                return
+            self._shutdown_locked(wait_=True)
+        self._record("pool.idle_teardowns")
+
+    # -- the batch entry point ---------------------------------------------
+    def map(
+        self,
+        fn: Callable[[_I], _O],
+        items: Sequence[_I],
+        *,
+        max_workers: Optional[int] = None,
+    ) -> List[_O]:
+        """The :func:`~repro.api.executor.map_ordered` contract, persistent.
+
+        ``fn`` must be a module-level callable and every item and result
+        must pickle (workers run with namespaced region uids, exactly as
+        on :func:`~repro.api.executor.map_ordered_process`).  With no pool
+        alive and a degenerate batch (one item, or one worker), runs
+        inline in this process.  A :class:`BrokenProcessPool` — a killed
+        or crashed worker — respawns the executor and retries the broken
+        items once; a second break propagates.
+
+        ``max_workers`` here is a *width request*, not a per-batch cap: a
+        request larger than the live executor replaces it (a resize); a
+        smaller one reuses the wider executor as-is — narrowing would
+        throw away exactly the warm worker caches the pool exists to
+        keep.  Unpinned pools spawn at the machine's process width
+        (workers materialise on demand), so ordinary growing batches
+        never force a cache-discarding resize.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        desired = (
+            max_workers
+            if max_workers is not None
+            else (
+                self._max_workers
+                if self._max_workers is not None
+                # size persistent executors to the machine, not the batch:
+                # idle slots cost nothing until used, and a later, larger
+                # batch never tears warm caches down to grow
+                else default_workers(os.cpu_count() or 1, backend="process")
+            )
+        )
+        if self._executor is None and (desired <= 1 or len(items) <= 1):
+            # inline tasks that call worker_session() share the one
+            # parent-side session, which the executor module bounds at
+            # DEFAULT_WORKER_CACHE_ENTRIES — a pool-specific bound is
+            # deliberately NOT installed here: the session is process-wide
+            # and the first pool's bound would silently win for every
+            # later one
+            return [fn(item) for item in items]
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            self._active += 1
+            self._cancel_idle_timer_locked()
+        try:
+            return self._map_recovering(fn, items, desired)
+        finally:
+            with self._lock:
+                self._active -= 1
+                if self._active == 0:
+                    self._idle_cv.notify_all()
+            self._arm_idle_timer()
+
+    def _map_recovering(
+        self, fn: Callable[[_I], _O], items: List[_I], desired: int
+    ) -> List[_O]:
+        results: Dict[int, _O] = {}
+        pending: List[Tuple[int, _I]] = list(enumerate(items))
+        retried = False
+        while pending:
+            executor = self._ensure(desired)
+            ok, broken, failure = self._run_batch(executor, fn, pending)
+            results.update(ok)
+            if broken:
+                # always replace a broken executor, even when a genuine
+                # task failure is about to propagate — the next batch
+                # must not inherit a dead pool.  A concurrent batch may
+                # have replaced it already; only the winner counts the
+                # respawn
+                discarded = self._discard_broken(executor)
+            if failure is not None:
+                raise failure
+            if not broken:
+                break
+            if retried:
+                raise BrokenProcessPool(
+                    f"worker pool broke again after a respawn; "
+                    f"giving up on {len(broken)} item(s)"
+                )
+            retried = True
+            if discarded:
+                self._record("pool.respawns")
+            self._record("pool.retried_items", len(broken))
+            # input order again: _run_batch collects submit-time breakage
+            # before future breakage, and the retry's failure scan (and
+            # the earliest-input-order exception contract) walks the
+            # pending list as given
+            pending = [(idx, items[idx]) for idx in sorted(broken)]
+        if len(results) != len(items):
+            # futures can end up cancelled with no failure and no broken
+            # pool only when the executor was shut down under us — a
+            # concurrent close() — so say that instead of a bare KeyError
+            raise RuntimeError(
+                "WorkerPool was closed while a batch was in flight"
+            )
+        return [results[i] for i in range(len(items))]
+
+    @staticmethod
+    def _run_batch(
+        executor: ProcessPoolExecutor,
+        fn: Callable[[_I], _O],
+        indexed_items: List[Tuple[int, _I]],
+    ) -> Tuple[Dict[int, _O], List[int], Optional[BaseException]]:
+        """One submit/wait/collect attempt over ``indexed_items``.
+
+        Returns ``(ok, broken, failure)``: results by index, the indexes
+        whose futures died with the pool, and the earliest-input-order
+        *genuine* task exception (pool breakage is never a task failure).
+        """
+        futures: List[Tuple[int, Any]] = []
+        broken: List[int] = []
+        for pos, (idx, item) in enumerate(indexed_items):
+            try:
+                futures.append((idx, executor.submit(fn, item)))
+            except (BrokenProcessPool, RuntimeError):
+                # the executor died — or was shut down under us by a
+                # concurrent close() (submit's generic RuntimeError) —
+                # before the batch was fully submitted; everything not
+                # yet submitted is retry material, and on a closed pool
+                # the retry surfaces the clear "WorkerPool is closed"
+                broken.extend(i for i, _ in indexed_items[pos:])
+                break
+        fs = [f for _, f in futures]
+        if fs:
+            done, _ = wait(fs, return_when=FIRST_EXCEPTION)
+            if any(
+                not f.cancelled()
+                and f.exception() is not None
+                and not isinstance(f.exception(), BrokenProcessPool)
+                for f in done
+            ):
+                # a genuine task failure: stop scheduling new work
+                for f in fs:
+                    f.cancel()
+            wait(fs)
+        ok: Dict[int, _O] = {}
+        failure: Optional[BaseException] = None
+        for idx, future in futures:
+            if future.cancelled():
+                continue
+            err = future.exception()
+            if err is None:
+                ok[idx] = future.result()
+            elif isinstance(err, BrokenProcessPool):
+                broken.append(idx)
+            elif failure is None:
+                # futures are scanned in input order, so the first genuine
+                # failure seen is the earliest one — the map_ordered contract
+                failure = err
+        return ok, broken, failure

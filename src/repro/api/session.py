@@ -32,6 +32,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from ..checking import CheckReport
@@ -39,12 +40,19 @@ from ..core import InferenceConfig, InferenceResult
 from .executor import (
     ExecutionResult,
     _infer_task,
+    _run_task,
     default_workers,
     map_ordered,
-    map_ordered_process,
     resolve_backend,
 )
-from .pipeline import Pipeline, StageFailure, StageResult, config_key
+from .pipeline import (
+    Pipeline,
+    StageFailure,
+    StageResult,
+    StageSummary,
+    config_key,
+)
+from .pool import DEFAULT_WORKER_CACHE_ENTRIES, WorkerPool
 
 __all__ = ["Session", "SessionStats"]
 
@@ -55,11 +63,19 @@ def _source_key(source: str) -> str:
 
 @dataclass
 class SessionStats:
-    """Per-stage cache hit/miss/eviction counters for one session."""
+    """Per-stage cache hit/miss/eviction counters for one session.
+
+    ``events`` counts things that are not cache traffic — the session's
+    worker-pool lifecycle (``pool.spawns``, ``pool.respawns``,
+    ``pool.retried_items``, ``pool.resizes``, ``pool.idle_teardowns``; see
+    :mod:`repro.api.pool`) — so pool reuse and crash recovery are
+    observable through the same object as cache effectiveness.
+    """
 
     hits: Dict[str, int] = field(default_factory=dict)
     misses: Dict[str, int] = field(default_factory=dict)
     evictions: Dict[str, int] = field(default_factory=dict)
+    events: Dict[str, int] = field(default_factory=dict)
 
     def record(self, kind: str, hit: bool) -> None:
         bucket = self.hits if hit else self.misses
@@ -67,6 +83,9 @@ class SessionStats:
 
     def record_eviction(self, kind: str) -> None:
         self.evictions[kind] = self.evictions.get(kind, 0) + 1
+
+    def record_event(self, kind: str, n: int = 1) -> None:
+        self.events[kind] = self.events.get(kind, 0) + n
 
     def merge(self, delta: Dict[str, Dict[str, int]]) -> None:
         """Fold another stats snapshot (or delta) into these counters.
@@ -80,6 +99,7 @@ class SessionStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "events": self.events,
         }
         for bucket_name, counts in delta.items():
             bucket = buckets.get(bucket_name)
@@ -103,6 +123,11 @@ class SessionStats:
             return self.evictions.get(kind, 0)
         return sum(self.evictions.values())
 
+    def event_count(self, kind: Optional[str] = None) -> int:
+        if kind is not None:
+            return self.events.get(kind, 0)
+        return sum(self.events.values())
+
     @property
     def total_hits(self) -> int:
         return self.hit_count()
@@ -120,16 +145,26 @@ class SessionStats:
             "hits": dict(self.hits),
             "misses": dict(self.misses),
             "evictions": dict(self.evictions),
+            "events": dict(self.events),
         }
 
     def __str__(self) -> str:
-        kinds = sorted(set(self.hits) | set(self.misses))
-        parts = [
-            f"{k}: {self.hits.get(k, 0)} hit(s) / {self.misses.get(k, 0)} miss(es)"
-            for k in kinds
-        ]
-        if self.evictions:
-            parts.append(f"{self.total_evictions} eviction(s)")
+        # eviction kinds count: a kind that only ever evicted (hit and
+        # missed elsewhere, e.g. in a worker) must still show up, and the
+        # per-kind eviction counts are part of the story
+        kinds = sorted(set(self.hits) | set(self.misses) | set(self.evictions))
+        parts = []
+        for k in kinds:
+            part = (
+                f"{k}: {self.hits.get(k, 0)} hit(s) / "
+                f"{self.misses.get(k, 0)} miss(es)"
+            )
+            if self.evictions.get(k):
+                part += f" / {self.evictions[k]} eviction(s)"
+            parts.append(part)
+        parts.extend(
+            f"{k}: {self.events[k]}" for k in sorted(self.events) if self.events[k]
+        )
         return "; ".join(parts) if parts else "no cache traffic"
 
 
@@ -159,7 +194,15 @@ class _ArtifactStore:
                 self._data.move_to_end(full_key)
                 self._stats.record(kind, hit=True)
                 return self._data[full_key], True
-        value = builder()  # outside the lock: builds may be slow
+        try:
+            value = builder()  # outside the lock: builds may be slow
+        except Exception:
+            # a failed build is still a miss: without this, failing
+            # programs are invisible in hit/miss accounting and hit-rate
+            # ratios over-report
+            with self._lock:
+                self._stats.record(kind, hit=False)
+            raise
         with self._lock:
             winner = self._data.setdefault(full_key, value)
             self._data.move_to_end(full_key)
@@ -206,6 +249,18 @@ class Session:
     entry points (``"thread"``, ``"process"`` or ``"auto"``; see
     :mod:`repro.api.executor`).  Every batch call accepts a per-call
     override.
+
+    Process-backend batches run on one **persistent**
+    :class:`~repro.api.pool.WorkerPool` owned by the session: the pool
+    spawns lazily on the first batch that needs it and is then reused by
+    every later ``infer_many`` / ``run_many`` / harness call, so repeat
+    batches hit warm worker caches and pay pool spawn once.  Killed
+    workers are respawned and their items retried once (observable as
+    ``pool.*`` event counters on :attr:`Session.stats`).  Release the
+    workers with :meth:`close` or ``with Session(...) as s:`` — the
+    session itself stays usable; a later batch simply spawns a fresh
+    pool.  ``pool_idle_timeout`` (seconds) reaps idle workers in
+    long-lived services the same way.
     """
 
     def __init__(
@@ -215,13 +270,77 @@ class Session:
         max_workers: Optional[int] = None,
         max_cache_entries: Optional[int] = None,
         backend: Optional[str] = None,
+        pool_idle_timeout: Optional[float] = None,
     ):
         self.config = config or InferenceConfig()
         self.max_workers = max_workers
         self.max_cache_entries = max_cache_entries
         self.backend = backend
+        self.pool_idle_timeout = pool_idle_timeout
         self.stats = SessionStats()
         self._store = _ArtifactStore(self.stats, max_entries=max_cache_entries)
+        self._pool: Optional[WorkerPool] = None
+        self._pool_lock = threading.Lock()
+
+    # -- the worker pool ---------------------------------------------------
+    def process_pool(self) -> WorkerPool:
+        """This session's persistent process pool (created on first call).
+
+        Worker sessions inherit the session's cache bound when it has one;
+        an unbounded session still bounds its workers at
+        :data:`~repro.api.pool.DEFAULT_WORKER_CACHE_ENTRIES` entries,
+        because pool workers persist across batches and would otherwise
+        grow without limit.
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    max_workers=self.max_workers,
+                    max_cache_entries=(
+                        self.max_cache_entries
+                        if self.max_cache_entries is not None
+                        else DEFAULT_WORKER_CACHE_ENTRIES
+                    ),
+                    idle_timeout=self.pool_idle_timeout,
+                    stats=self.stats,
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was spawned.  Idempotent.
+
+        The session remains fully usable afterwards — caches and stats are
+        untouched, and the next process-backend batch spawns a fresh pool.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _pool_alive(self) -> bool:
+        """Whether a pool with live workers exists right now (no spawn)."""
+        with self._pool_lock:
+            return self._pool is not None and self._pool.alive
+
+    def _merge_worker_delta(self, delta: Dict[str, Dict[str, int]]) -> None:
+        """Fold one worker task's stats delta into :attr:`stats`.
+
+        Worker-side traffic is real cache activity, but it is not *this*
+        store's: it is accounted under a ``worker.`` prefix so parent
+        counters keep meaning "the parent cache".
+        """
+        self.stats.merge(
+            {
+                bucket: {f"worker.{kind}": n for kind, n in counts.items()}
+                for bucket, counts in delta.items()
+            }
+        )
 
     # -- pipelines ---------------------------------------------------------
     def pipeline(
@@ -322,7 +441,11 @@ class Session:
         results back; successful results land in this session's cache, the
         workers' cache traffic is merged into :attr:`Session.stats`, and
         worker-minted regions live in per-worker uid namespaces so results
-        from different workers never collide.
+        from different workers never collide.  Process batches share the
+        session's persistent pool, where ``max_workers`` is a *width
+        request*: it can grow the pool, but a smaller request reuses the
+        existing (wider) executor rather than discarding its warm caches
+        (see :meth:`WorkerPool.map <repro.api.pool.WorkerPool.map>`).
         """
         sources = list(sources)
         workers = max_workers if max_workers is not None else self.max_workers
@@ -360,7 +483,9 @@ class Session:
         Only parent-cache misses are shipped (each unique source once);
         worker results are installed into the parent cache through the
         ordinary ``get_or_build`` path so hit/miss accounting and LRU
-        bounds behave exactly as on the thread backend.
+        bounds behave exactly as on the thread backend.  Work runs on the
+        session's persistent :meth:`process_pool`, so consecutive batches
+        reuse one executor and its warm worker caches.
         """
         cfg = config or self.config
         ck = config_key(cfg)
@@ -375,12 +500,17 @@ class Session:
             if max_workers is not None
             else default_workers(len(pending), backend="process")
         )
-        if pending and (len(pending) <= 1 or workers <= 1):
+        if (
+            pending
+            and (len(pending) <= 1 or workers <= 1)
+            and not self._pool_alive()
+        ):
             # degenerate pool: the work would run inline in this process
             # anyway, so run it on *this* session — same results, and the
             # parent keeps the only artifact cache (no hidden, unbounded
             # worker session accumulating duplicates in a long-lived
-            # service)
+            # service).  With warm workers already up, even single items
+            # go to the pool instead, keeping its caches hot
             return self.infer_many(
                 sources,
                 cfg,
@@ -388,23 +518,18 @@ class Session:
                 backend="thread",
                 return_exceptions=return_exceptions,
             )
-        outcomes = map_ordered_process(
+        # pass the caller's explicit width through (None lets the pool
+        # size itself to the machine): a batch-derived width here would
+        # grow per batch and churn the executor on every larger batch
+        outcomes = self.process_pool().map(
             _infer_task,
             [(src, cfg) for src in pending],
-            max_workers=workers,
+            max_workers=max_workers,
         )
         shipped: Dict[str, InferenceResult] = {}
         failures: Dict[str, StageFailure] = {}
         for src, (result, failure, delta) in zip(pending, outcomes):
-            # worker-side traffic is real cache activity, but it is not
-            # *this* store's: account for it under a ``worker.`` prefix so
-            # parent counters keep meaning "the parent cache"
-            self.stats.merge(
-                {
-                    bucket: {f"worker.{kind}": n for kind, n in counts.items()}
-                    for bucket, counts in delta.items()
-                }
-            )
+            self._merge_worker_delta(delta)
             if failure is not None:
                 failures[src] = failure
             else:
@@ -440,21 +565,94 @@ class Session:
         *,
         until: str = "verify",
         max_workers: Optional[int] = None,
-    ) -> List[List[StageResult]]:
+        backend: Optional[str] = None,
+        summaries: bool = False,
+    ) -> List[List[Union[StageResult, StageSummary]]]:
         """Batch :meth:`Pipeline.run` — never raises; per-program results.
 
-        Always thread-pooled: stage results carry arbitrary intermediate
-        artifacts, which the pickling contract of the process backend does
-        not cover (use :meth:`infer_many` with
-        ``backend="process", return_exceptions=True`` for a multi-core
-        batch with per-program failures).
+        With ``summaries=True`` each program's list holds the reduced,
+        picklable :class:`~repro.api.pipeline.StageSummary` projection
+        (stage, ok, cache provenance, wall time, diagnostics, cause
+        stage) instead of full :class:`StageResult`\\ s.  That projection
+        is what unlocks ``backend="process"``: full stage results carry
+        arbitrary intermediate artifacts the pickling contract does not
+        cover, so the process backend **requires** ``summaries=True`` and
+        returns summaries identical to the thread backend's in
+        stage/ok/diagnostics.  Process batches run on the session's
+        persistent :meth:`process_pool`; a session whose default backend
+        is ``process`` falls back to threads here when full results are
+        requested.
         """
+        sources = list(sources)
         workers = max_workers if max_workers is not None else self.max_workers
-        return map_ordered(
-            lambda src: self.pipeline(src, config).run(until),
-            sources,
-            max_workers=workers,
+        resolved = resolve_backend(
+            backend if backend is not None else self.backend, len(sources)
         )
+        if resolved == "process" and not summaries:
+            if backend == "process":
+                raise ValueError(
+                    "run_many(backend='process') requires summaries=True: "
+                    "full StageResults carry unpicklable intermediate "
+                    "artifacts; only the StageSummary projection crosses "
+                    "process boundaries"
+                )
+            # session default or "auto": keep full results on threads
+            resolved = "thread"
+        if resolved == "process":
+            return self._run_many_process(
+                sources, config, until=until, max_workers=workers
+            )
+
+        def one(src: str):
+            results = self.pipeline(src, config).run(until)
+            return [r.summary() for r in results] if summaries else results
+
+        return map_ordered(one, sources, max_workers=workers)
+
+    def _run_many_process(
+        self,
+        sources: List[str],
+        config: Optional[InferenceConfig],
+        *,
+        until: str,
+        max_workers: Optional[int],
+    ) -> List[List[StageSummary]]:
+        """The process-backend half of :meth:`run_many` (summaries only).
+
+        Stage artifacts stay worker-side (only summaries travel back), so
+        unlike :meth:`infer_many` nothing lands in the parent cache; the
+        workers' own cache traffic is merged into :attr:`Session.stats`
+        under ``worker.*`` kinds.
+        """
+        cfg = config or self.config
+        workers = (
+            max_workers
+            if max_workers is not None
+            else default_workers(len(sources), backend="process")
+        )
+        if (len(sources) <= 1 or workers <= 1) and not self._pool_alive():
+            # degenerate pool: run on this session's thread path — same
+            # summaries, and the artifacts land in the parent cache
+            # instead of a hidden worker session (with warm workers
+            # already up, single items go to the pool instead)
+            return self.run_many(
+                sources,
+                cfg,
+                until=until,
+                max_workers=1,
+                backend="thread",
+                summaries=True,
+            )
+        outcomes = self.process_pool().map(
+            _run_task,
+            [(src, cfg, until) for src in sources],
+            max_workers=max_workers,
+        )
+        out: List[List[StageSummary]] = []
+        for summaries_list, delta in outcomes:
+            self._merge_worker_delta(delta)
+            out.append(list(summaries_list))
+        return out
 
     # -- maintenance -------------------------------------------------------
     def clear_cache(self) -> None:

@@ -16,8 +16,10 @@ Fig 9 suite goes through :meth:`Session.infer_many` as one batch.  Reported
 Both table builders accept ``backend=`` / ``max_workers=``: with
 ``backend="process"`` the whole evaluation — every (program, mode)
 measurement of Fig 8, and the infer+verify pass of Fig 9 — fans out over
-a process pool (one long-lived :class:`~repro.api.Session` per worker),
-which is how the embarrassingly parallel Fig 9 batch uses every core.
+the session's *persistent* :class:`~repro.api.pool.WorkerPool` (one
+long-lived :class:`~repro.api.Session` per worker), which is how the
+embarrassingly parallel Fig 9 batch uses every core; running fig8 then
+fig9 through one session reuses one pool and its warm worker caches.
 Reported engine times stay per-program (each worker times its own run),
 but wall-clock for the whole table drops with the core count.
 
@@ -34,12 +36,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..api import Session
-from ..api.executor import (
-    map_ordered,
-    map_ordered_process,
-    resolve_backend,
-    worker_session,
-)
+from ..api.executor import map_ordered, resolve_backend, worker_session
 from ..core import InferenceConfig, SubtypingMode
 from ..lang.pretty import pretty_target
 from .olden import OLDEN_PROGRAMS, OldenProgram
@@ -240,23 +237,35 @@ def fig8_rows(
         args = program.test_args if quick else program.run_args
         for mode in MODES:
             tasks.append((name, program, mode, args))
+    # one accessor for the session's default backend, shared with
+    # fig9_rows: normalise the session first, then read its attribute —
+    # session-less callers get the same fresh-session default either way
+    owned = session is None
+    session = session or Session()
     resolved = resolve_backend(
-        backend if backend is not None else getattr(session, "backend", None),
-        len(tasks),
+        backend if backend is not None else session.backend, len(tasks)
     )
-    if resolved == "process":
-        measured = map_ordered_process(
-            _fig8_task,
-            [(name, mode.value, run, tuple(args)) for name, _, mode, args in tasks],
-            max_workers=max_workers,
-        )
-    else:
-        session = session or Session()
-        measured = map_ordered(
-            lambda t: measure_program(t[1], t[2], run=run, args=t[3], session=session),
-            tasks,
-            max_workers=max_workers if max_workers is not None else 1,
-        )
+    try:
+        if resolved == "process":
+            measured = session.process_pool().map(
+                _fig8_task,
+                [
+                    (name, mode.value, run, tuple(args))
+                    for name, _, mode, args in tasks
+                ],
+                max_workers=max_workers,
+            )
+        else:
+            measured = map_ordered(
+                lambda t: measure_program(
+                    t[1], t[2], run=run, args=t[3], session=session
+                ),
+                tasks,
+                max_workers=max_workers if max_workers is not None else 1,
+            )
+    finally:
+        if owned:
+            session.close()
     rows_by_name: Dict[str, Fig8Row] = {}
     for (name, program, mode, args), outcome in zip(tasks, measured):
         t_inf, t_chk, ratio, localized, ann = outcome
@@ -311,6 +320,7 @@ def fig9_rows(
     is its engine time (:attr:`InferenceResult.elapsed`), so the worker
     pool does not distort per-program numbers.
     """
+    owned = session is None
     session = session or Session()
     selected = [
         (name, program)
@@ -321,21 +331,30 @@ def fig9_rows(
     resolved = resolve_backend(
         backend if backend is not None else session.backend, len(sources)
     )
-    if resolved == "process":
-        outcomes = map_ordered_process(
-            _fig9_task,
-            [(source, session.config) for source in sources],
-            max_workers=max_workers,
-        )
-        results = [result for result, _ in outcomes]
-        reports = [report for _, report in outcomes]
-    else:
-        results = session.infer_many(sources, max_workers=max_workers)
-        reports = map_ordered(
-            lambda program: session.check(program.source),
-            [program for _, program in selected],
-            max_workers=max_workers,
-        )
+    try:
+        if resolved == "process":
+            outcomes = session.process_pool().map(
+                _fig9_task,
+                [(source, session.config) for source in sources],
+                max_workers=max_workers,
+            )
+            results = [result for result, _ in outcomes]
+            reports = [report for _, report in outcomes]
+        else:
+            # pass the resolved backend down: infer_many would otherwise
+            # re-resolve from the session default, overriding an explicit
+            # backend="thread" on a process-default session
+            results = session.infer_many(
+                sources, max_workers=max_workers, backend="thread"
+            )
+            reports = map_ordered(
+                lambda program: session.check(program.source),
+                [program for _, program in selected],
+                max_workers=max_workers,
+            )
+    finally:
+        if owned:
+            session.close()
     rows: List[Fig9Row] = []
     for (name, program), result, report in zip(selected, results, reports):
         if not report.ok:

@@ -71,12 +71,24 @@ class TestMapOrdered(object):
         assert len(started) < 64
 
     def test_running_items_drain_to_completion(self):
+        started = []
         finished = []
         lock = threading.Lock()
 
         def fn(i):
             if i == 0:
-                raise ValueError("immediate failure")
+                # fail only once the other items are demonstrably running,
+                # so draining (not cancellation) is what the test observes
+                # regardless of thread-startup timing under load
+                deadline = time.time() + 5.0
+                while time.time() < deadline:
+                    with lock:
+                        if len(started) == 2:
+                            break
+                    time.sleep(0.005)
+                raise ValueError("failure after others started")
+            with lock:
+                started.append(i)
             time.sleep(0.05)
             with lock:
                 finished.append(i)

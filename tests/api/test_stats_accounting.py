@@ -1,0 +1,95 @@
+"""Stats-accounting regressions: failed builds, eviction rendering, events.
+
+Two bugs pinned here:
+
+* a builder that raised inside the cached stage path never called
+  ``SessionStats.record``, so failing programs were invisible in hit/miss
+  accounting and hit-rate ratios over-reported;
+* ``SessionStats.__str__`` derived its kind list from hits|misses only,
+  so a kind that only ever evicted was silently dropped and per-kind
+  eviction counts were never shown.
+"""
+
+import pytest
+
+from repro.api import Session, SessionStats, StageFailure
+
+BAD = "class Broken extends Object { int"
+BAD_TYPE = (
+    "class A extends Object { int x; }\nint main(int n) { new A(true).x }"
+)
+
+
+class TestFailedBuildsAreMisses(object):
+    def test_two_failing_parses_are_two_parse_misses(self):
+        session = Session()
+        for _ in range(2):
+            with pytest.raises(StageFailure):
+                session.infer(BAD)
+        # failures are not cached, so each attempt is a real miss
+        assert session.stats.miss_count("parse") == 2
+        assert session.stats.hit_count("parse") == 0
+
+    def test_failing_typecheck_is_a_miss_after_a_parse_miss(self):
+        session = Session()
+        with pytest.raises(StageFailure):
+            session.infer(BAD_TYPE)
+        assert session.stats.miss_count("parse") == 1  # parse succeeded
+        assert session.stats.miss_count("typecheck") == 1  # build raised
+        with pytest.raises(StageFailure):
+            session.infer(BAD_TYPE)
+        assert session.stats.hit_count("parse") == 1  # parse was cached
+        assert session.stats.miss_count("typecheck") == 2
+
+    def test_successful_builds_record_exactly_one_miss(self):
+        session = Session()
+        session.infer("class C extends Object { int v; }\nint main(int n) { n }")
+        assert session.stats.miss_count("parse") == 1
+
+
+class TestStatsRendering(object):
+    def test_eviction_only_kinds_are_shown(self):
+        stats = SessionStats()
+        stats.record("infer", hit=False)
+        stats.record_eviction("parse")  # evicted, never hit or missed here
+        text = str(stats)
+        assert "parse" in text
+        assert "1 eviction(s)" in text
+
+    def test_per_kind_eviction_counts_are_shown(self):
+        stats = SessionStats()
+        stats.record("parse", hit=False)
+        stats.record_eviction("parse")
+        stats.record_eviction("parse")
+        stats.record_eviction("infer")
+        text = str(stats)
+        assert "parse: 0 hit(s) / 1 miss(es) / 2 eviction(s)" in text
+        assert "infer: 0 hit(s) / 0 miss(es) / 1 eviction(s)" in text
+
+    def test_empty_stats_still_render(self):
+        assert str(SessionStats()) == "no cache traffic"
+
+
+class TestEvents(object):
+    def test_record_and_count(self):
+        stats = SessionStats()
+        stats.record_event("pool.spawns")
+        stats.record_event("pool.retried_items", 3)
+        assert stats.event_count("pool.spawns") == 1
+        assert stats.event_count("pool.retried_items") == 3
+        assert stats.event_count() == 4
+        assert stats.event_count("pool.respawns") == 0
+
+    def test_events_round_trip_as_dict_and_merge(self):
+        stats = SessionStats()
+        stats.record_event("pool.spawns")
+        snapshot = stats.as_dict()
+        assert snapshot["events"] == {"pool.spawns": 1}
+        other = SessionStats()
+        other.merge(snapshot)
+        assert other.event_count("pool.spawns") == 1
+
+    def test_events_render(self):
+        stats = SessionStats()
+        stats.record_event("pool.spawns", 2)
+        assert "pool.spawns: 2" in str(stats)
