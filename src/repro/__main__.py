@@ -9,6 +9,9 @@ Commands (all built on the staged :mod:`repro.api` pipeline):
 * ``report FILE``  -- per-class/per-method inference statistics
 * ``batch FILE...`` -- batch inference over many files on a worker pool
 * ``fig8`` / ``fig9`` -- regenerate the paper's evaluation tables
+* ``serve``        -- the multi-tenant HTTP inference daemon
+  (:mod:`repro.serve`; see ``docs/serving.md``)
+* ``loadgen``      -- closed-loop load generator sweeping the daemon
 
 Every command accepts ``--format {text,json}``; JSON output carries the
 machine-readable diagnostics of :mod:`repro.api.diagnostics` (severity,
@@ -289,8 +292,74 @@ def cmd_batch(args: argparse.Namespace, session: Session) -> int:
         "programs": entries,
         "diagnostics": [],
     }
+    if args.stats:
+        # cache and pool observability for the whole invocation: hits,
+        # misses, evictions and pool.* lifecycle events
+        payload["stats"] = session.stats.as_dict()
+        lines.append(json.dumps(payload["stats"], indent=2, sort_keys=True))
     _emit(args, payload, "\n".join(lines))
     return EXIT_ERROR if failures else EXIT_OK
+
+
+def cmd_serve(args: argparse.Namespace, session: Session) -> int:
+    # the daemon builds its own shared pool and per-tenant sessions; the
+    # CLI-invocation session goes unused
+    from .serve import ServerConfig, serve
+
+    serve(
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            backend=args.backend or "auto",
+            min_workers=args.min_workers,
+            max_workers=args.jobs,
+            max_concurrency=args.max_concurrency,
+            max_pending=args.max_pending,
+            request_timeout=args.request_timeout,
+            max_tenants=args.max_tenants,
+            pool_idle_timeout=args.idle_timeout,
+            quiet=args.quiet,
+        )
+    )
+    return EXIT_OK
+
+
+def cmd_loadgen(args: argparse.Namespace, session: Session) -> int:
+    from .serve import LoadgenConfig, ServerConfig, run_loadgen
+
+    config = LoadgenConfig(
+        host=args.host or "127.0.0.1",
+        port=args.port,
+        levels=tuple(args.levels),
+        requests_per_level=args.requests,
+        tenants=args.tenants,
+        programs=tuple(args.programs),
+    )
+    self_host = args.host is None
+    result = run_loadgen(
+        config,
+        self_host=self_host,
+        server_config=(
+            ServerConfig(backend=args.backend or "auto", max_workers=args.jobs)
+            if self_host
+            else None
+        ),
+        output=args.output,
+    )
+    summary = result["summary"]
+    lines = [
+        f"concurrency {r['metadata']['concurrency']}: "
+        f"{r['value']:.1f} {r['unit']}"
+        for r in result["samples"]
+        if r["metric"] == "throughput"
+    ]
+    lines.append(
+        f"{summary['total_ok']} ok, {summary['total_rejected']} rejected, "
+        f"{summary['total_failed']} failed"
+        + (f"; wrote {args.output}" if args.output else "")
+    )
+    _emit(args, {"ok": True, "command": "loadgen", **result}, "\n".join(lines))
+    return EXIT_OK if summary["total_failed"] == 0 else EXIT_ERROR
 
 
 def cmd_fig8(args: argparse.Namespace, session: Session) -> int:
@@ -427,9 +496,121 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend process fans the batch out across cores.",
     )
     p_batch.add_argument("files", nargs="+", metavar="FILE")
+    p_batch.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print the session's cache/pool statistics as JSON",
+    )
     pool(p_batch)
     common(p_batch, collect=False)
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP inference daemon",
+        description="Serve /v1/infer, /v1/check, /v1/run, /v1/stats and "
+        "/healthz over HTTP+JSON, multiplexing per-tenant sessions over "
+        "one shared worker pool (see docs/serving.md).",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8178, help="0 picks an ephemeral port"
+    )
+    p_serve.add_argument(
+        "--min-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="workers kept warm when idle (process backend)",
+    )
+    p_serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=None,
+        metavar="N",
+        help="requests served at once (default: the CPU allowance)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=16,
+        metavar="N",
+        help="requests allowed to queue before 429s (0 disables queueing)",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="server-side cap on any request's deadline",
+    )
+    p_serve.add_argument(
+        "--max-tenants", type=int, default=64, metavar="N",
+    )
+    p_serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="shrink the pool back to --min-workers after this long idle",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request logging"
+    )
+    pool(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="closed-loop load generator for the serve daemon",
+        description="Sweep concurrency levels against a repro daemon "
+        "(self-hosted on an ephemeral port unless --host is given), "
+        "reporting PKB-style latency/throughput samples.",
+    )
+    p_loadgen.add_argument(
+        "--host",
+        default=None,
+        help="target an already-running daemon (default: self-host)",
+    )
+    p_loadgen.add_argument("--port", type=int, default=8178)
+    p_loadgen.add_argument(
+        "--levels",
+        nargs="+",
+        type=int,
+        default=[1, 2, 4, 8],
+        metavar="N",
+        help="concurrency levels to sweep",
+    )
+    p_loadgen.add_argument(
+        "--requests",
+        type=int,
+        default=24,
+        metavar="N",
+        help="requests per level",
+    )
+    p_loadgen.add_argument(
+        "--tenants",
+        type=int,
+        default=2,
+        metavar="N",
+        help="distinct tenants to cycle through",
+    )
+    p_loadgen.add_argument(
+        "--programs",
+        nargs="*",
+        default=[],
+        metavar="NAME",
+        help="Olden programs to request (default: the whole corpus)",
+    )
+    p_loadgen.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the PKB-style sample report here (e.g. BENCH_6.json)",
+    )
+    pool(p_loadgen)
+    output(p_loadgen)
+    p_loadgen.set_defaults(func=cmd_loadgen)
 
     p8 = sub.add_parser("fig8", help="regenerate the Fig 8 table")
     p8.add_argument("--quick", action="store_true")

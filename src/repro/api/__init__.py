@@ -39,6 +39,7 @@ from .diagnostics import (
 from .executor import (
     BACKENDS,
     ExecutionResult,
+    available_cpus,
     default_workers,
     map_ordered,
     map_ordered_process,
@@ -52,7 +53,7 @@ from .pipeline import (
     StageSummary,
     config_key,
 )
-from .pool import DEFAULT_WORKER_CACHE_ENTRIES, WorkerPool
+from .pool import DEFAULT_WORKER_CACHE_ENTRIES, PoolTimeout, WorkerPool
 from .session import Session, SessionStats
 
 __all__ = [
@@ -64,10 +65,12 @@ __all__ = [
     "render_diagnostics",
     "BACKENDS",
     "ExecutionResult",
+    "available_cpus",
     "default_workers",
     "map_ordered",
     "map_ordered_process",
     "resolve_backend",
+    "PoolTimeout",
     "STAGES",
     "Pipeline",
     "StageFailure",

@@ -51,6 +51,7 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_WORKER_CACHE_ENTRIES",
     "ExecutionResult",
+    "available_cpus",
     "default_workers",
     "map_ordered",
     "map_ordered_process",
@@ -96,15 +97,35 @@ class ExecutionResult:
         }
 
 
+def available_cpus() -> int:
+    """The number of CPUs *this process* may actually run on.
+
+    ``os.cpu_count()`` reports the machine; in a cgroup/cpuset-limited
+    container (CI runners, serving deployments) the process is often
+    pinned to far fewer cores, and sizing pools by the machine
+    over-provisions — more workers than cores means pure contention.
+    ``os.sched_getaffinity(0)`` reports the real allowance where the
+    platform has it (Linux); elsewhere fall back to ``os.cpu_count()``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
 def default_workers(n_items: int, backend: str = "thread") -> int:
-    """A sensible pool size: bounded by the CPU count and the workload.
+    """A sensible pool size: bounded by the CPU allowance and the workload.
 
     The bound is backend-aware: thread pools are GIL-bound, so more than
     :data:`_THREAD_WORKER_CAP` threads only add contention; process pools
     genuinely use every core, so on big machines they scale to the full
-    CPU count.
+    CPU allowance (:func:`available_cpus` — the scheduler affinity mask,
+    not the raw machine core count).
     """
-    cpus = os.cpu_count() or 1
+    cpus = available_cpus()
     cap = cpus if backend == "process" else _THREAD_WORKER_CAP
     return max(1, min(n_items, cpus, cap))
 
@@ -123,7 +144,7 @@ def resolve_backend(backend: Optional[str], n_items: int) -> str:
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     if backend == "auto":
-        return "process" if (os.cpu_count() or 1) > 1 and n_items > 1 else "thread"
+        return "process" if available_cpus() > 1 and n_items > 1 else "thread"
     return backend
 
 

@@ -37,13 +37,40 @@ re-importing the toolchain in every worker and throwing the warm per-worker
   ``pool.retried_items``      items re-run because their worker died
   ``pool.resizes``            executor replaced to honour a larger
                               ``max_workers`` request
+  ``pool.grows``              executor widened in place by
+                              :meth:`WorkerPool.scale_to` (queue-depth
+                              pressure)
+  ``pool.shrinks``            executor replaced by a ``min_workers``-sized
+                              one after an idle period
   ``pool.idle_teardowns``     executors reaped by the idle timeout
+  ``pool.timeouts``           :meth:`WorkerPool.run_one` waits that hit
+                              their deadline
   ==========================  =============================================
 
 Lifecycle: :meth:`WorkerPool.close` (or ``Session.close()`` / ``with
 Session(...) as s:``) shuts the workers down; for long-lived services an
 ``idle_timeout`` reaps the executor after a quiet period — the next batch
 simply respawns it, trading warm caches for memory.
+
+**Sharing.**  A pool is no longer bound to one session: the serving
+daemon (:mod:`repro.serve`) multiplexes many per-tenant
+:class:`~repro.api.Session`\\ s over one pool.  Ownership is refcounted —
+the creator holds one reference, :meth:`WorkerPool.acquire` takes
+another, and :meth:`WorkerPool.close` *releases* one; the workers shut
+down when the last reference is released.  Lifecycle events are
+attributed to the session whose batch caused them: the batch entry points
+accept a ``stats`` override, so a shared pool's ``pool.*`` counters land
+in the *calling* session's :class:`~repro.api.session.SessionStats` (and
+always in :attr:`WorkerPool.counters`, the pool-level total).
+
+**Elasticity.**  ``min_workers``/``max_workers`` bound an elastic width:
+:meth:`WorkerPool.scale_to` maps the caller's current queue depth to a
+width inside the band and widens the live executor *in place* (new worker
+processes materialise on demand — no future is ever cancelled by growth),
+and after ``idle_timeout`` of quiet the pool shrinks back to
+``min_workers`` warm workers instead of tearing down entirely
+(``min_workers=0``, the default, keeps the original teardown-to-nothing
+behaviour).
 
 The ordering and failure contract of :meth:`WorkerPool.map` is the one
 documented on :func:`repro.api.executor.map_ordered`: results in input
@@ -54,7 +81,6 @@ is retried, not raised (until the retry also breaks).
 
 from __future__ import annotations
 
-import os
 import threading
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -72,13 +98,28 @@ from typing import (
 from .executor import (
     DEFAULT_WORKER_CACHE_ENTRIES,
     _process_worker_init,
+    available_cpus,
     default_workers,
 )
 
 _I = TypeVar("_I")
 _O = TypeVar("_O")
 
-__all__ = ["WorkerPool", "DEFAULT_WORKER_CACHE_ENTRIES"]
+__all__ = ["PoolTimeout", "WorkerPool", "DEFAULT_WORKER_CACHE_ENTRIES"]
+
+
+class PoolTimeout(Exception):
+    """A :meth:`WorkerPool.run_one` wait outlived its deadline.
+
+    The *wait* is abandoned, not the work: a task already running on a
+    worker cannot be interrupted and runs to completion (its result is
+    discarded; the warm worker is reused).  Callers that need to bound
+    pile-up must bound admission — see :mod:`repro.serve.admission`.
+    """
+
+    def __init__(self, timeout: float):
+        self.timeout = timeout
+        super().__init__(f"worker task did not finish within {timeout:.3f}s")
 
 
 class WorkerPool:
@@ -98,26 +139,42 @@ class WorkerPool:
         self,
         *,
         max_workers: Optional[int] = None,
+        min_workers: int = 0,
         max_cache_entries: Optional[int] = DEFAULT_WORKER_CACHE_ENTRIES,
         idle_timeout: Optional[float] = None,
         stats: Optional[Any] = None,
     ):
         if idle_timeout is not None and idle_timeout <= 0:
             raise ValueError(f"idle_timeout must be positive, got {idle_timeout}")
+        if min_workers < 0:
+            raise ValueError(f"min_workers must be >= 0, got {min_workers}")
+        if max_workers is not None and min_workers > max_workers:
+            raise ValueError(
+                f"min_workers ({min_workers}) exceeds max_workers ({max_workers})"
+            )
         self._max_workers = max_workers
+        self._min_workers = min_workers
         self._max_cache_entries = max_cache_entries
         self._idle_timeout = idle_timeout
         self._stats = stats
         if stats is not None and idle_timeout is not None:
-            # the idle-teardown event is recorded from the timer thread;
-            # pre-registering the key means that write only ever updates
-            # an existing slot, so a concurrent stats reader iterating the
-            # events dict can never see it resize mid-iteration
+            # idle-teardown/shrink events are recorded from the timer
+            # thread; pre-registering the keys means those writes only
+            # ever update an existing slot, so a concurrent stats reader
+            # iterating the events dict can never see it resize
+            # mid-iteration
             stats.record_event("pool.idle_teardowns", 0)
+            stats.record_event("pool.shrinks", 0)
         self.counters: Dict[str, int] = {}
         self._executor: Optional[ProcessPoolExecutor] = None
         self._size = 0
         self._closed = False
+        #: references held on this pool (creator = 1; each acquire() adds
+        #: one, each close() releases one; workers die at zero)
+        self._refs = 1
+        #: the most recent scale_to() recommendation; a fresh spawn starts
+        #: at this width instead of the machine default
+        self._target: Optional[int] = None
         self._idle_timer: Optional[threading.Timer] = None
         #: batches currently inside :meth:`map` — concurrent batches run
         #: in parallel on the shared executor; this count only gates the
@@ -150,16 +207,48 @@ class WorkerPool:
     def closed(self) -> bool:
         return self._closed
 
-    def _record(self, kind: str, n: int = 1) -> None:
+    @property
+    def refs(self) -> int:
+        """References currently held on this pool (see :meth:`acquire`)."""
+        with self._lock:
+            return self._refs
+
+    @property
+    def min_workers(self) -> int:
+        return self._min_workers
+
+    def _record(self, kind: str, n: int = 1, stats: Optional[Any] = None) -> None:
         # concurrent batches (and the idle timer) all write these; the
-        # read-modify-write must not lose increments
+        # read-modify-write must not lose increments.  ``stats`` is the
+        # calling batch's attribution sink (a shared pool records the
+        # event against the session that caused it); the pool's own
+        # default sink still sees everything — deduplicated, so a
+        # session-owned pool whose default sink IS the batch sink counts
+        # each event once
         with self._counter_lock:
             self.counters[kind] = self.counters.get(kind, 0) + n
             if self._stats is not None:
                 self._stats.record_event(kind, n)
+            if stats is not None and stats is not self._stats:
+                stats.record_event(kind, n)
 
     # -- lifecycle ---------------------------------------------------------
-    def _ensure(self, desired: int) -> ProcessPoolExecutor:
+    def acquire(self) -> "WorkerPool":
+        """Take a reference on this pool (for sharing across sessions).
+
+        Every ``acquire()`` must be paired with one :meth:`close` — the
+        workers shut down when the last reference is released.  Raises
+        :class:`RuntimeError` on a fully-closed pool.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            self._refs += 1
+            return self
+
+    def _ensure(
+        self, desired: int, stats: Optional[Any] = None
+    ) -> ProcessPoolExecutor:
         """The live executor, spawning (or growing) it to ``desired``."""
         with self._lock:
             if self._closed:
@@ -175,7 +264,7 @@ class WorkerPool:
                 and self._active <= 1
             ):
                 self._shutdown_locked(wait_=False)
-                self._record("pool.resizes")
+                self._record("pool.resizes", stats=stats)
             if self._executor is None:
                 self._executor = ProcessPoolExecutor(
                     max_workers=desired,
@@ -187,7 +276,7 @@ class WorkerPool:
                     ),
                 )
                 self._size = desired
-                self._record("pool.spawns")
+                self._record("pool.spawns", stats=stats)
             return self._executor
 
     def _shutdown_locked(self, *, wait_: bool) -> None:
@@ -212,13 +301,22 @@ class WorkerPool:
             return True
 
     def close(self) -> None:
-        """Shut the workers down.  Idempotent; the pool stays closed.
+        """Release one reference; shut the workers down on the last one.
 
-        New batches are refused immediately; batches already in flight
-        are drained first — tearing the executor down under them could
-        abandon their futures unresolved and hang them forever.
+        An unshared pool (no :meth:`acquire` calls) closes immediately,
+        exactly as before sharing existed.  Closing is idempotent once
+        the pool is fully closed; until then each ``close()`` releases
+        one reference.  On the final release new batches are refused
+        immediately and batches already in flight are drained first —
+        tearing the executor down under them could abandon their futures
+        unresolved and hang them forever.
         """
         with self._lock:
+            if self._closed:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
             self._closed = True
             self._cancel_idle_timer_locked()
             while self._active > 0:
@@ -257,12 +355,171 @@ class WorkerPool:
         # an already-fired timer survives cancel(): if a batch started in
         # the meantime the active count is non-zero, and tearing the
         # executor down under it would cancel its in-flight futures —
-        # skip; the last batch out re-arms the timer
+        # skip; the last batch out re-arms the timer.  With a min_workers
+        # floor the pool *shrinks* to that many warm workers instead of
+        # tearing down entirely — a long-lived service keeps its latency
+        # floor while a burst's extra workers (and their memory) go away
         with self._lock:
             if self._closed or self._executor is None or self._active > 0:
                 return
-            self._shutdown_locked(wait_=True)
-        self._record("pool.idle_teardowns")
+            if self._min_workers > 0:
+                if self._size <= self._min_workers:
+                    return
+                self._shutdown_locked(wait_=True)
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self._min_workers,
+                    initializer=_process_worker_init,
+                    initargs=(
+                        None,
+                        (),
+                        {"max_cache_entries": self._max_cache_entries},
+                    ),
+                )
+                self._size = self._min_workers
+                self._target = self._min_workers
+                event = "pool.shrinks"
+            else:
+                self._shutdown_locked(wait_=True)
+                event = "pool.idle_teardowns"
+        self._record(event)
+
+    # -- elastic width -----------------------------------------------------
+    def width_for(self, queue_depth: int) -> int:
+        """The width the ``min_workers``/``max_workers`` band maps
+        ``queue_depth`` pending-or-running requests to."""
+        cap = (
+            self._max_workers
+            if self._max_workers is not None
+            else default_workers(available_cpus(), backend="process")
+        )
+        return max(1, self._min_workers, min(max(queue_depth, 1), cap))
+
+    def scale_to(self, queue_depth: int, *, stats: Optional[Any] = None) -> int:
+        """Queue-depth-driven grow: widen the pool toward the depth.
+
+        Maps ``queue_depth`` to a width inside the
+        ``min_workers``/``max_workers`` band and, when the live executor
+        is narrower, widens it **in place**: the executor's worker cap is
+        raised and new worker processes materialise on demand as tasks
+        queue (CPython spawns pool processes lazily up to the cap), so no
+        in-flight future is ever cancelled by growth — unlike a
+        ``map(max_workers=...)`` resize, which replaces the executor and
+        therefore defers while other batches are in flight.  Shrinking is
+        never done here (it would discard warm caches mid-traffic); the
+        idle timer shrinks back to ``min_workers`` after a quiet period.
+        Returns the width the pool is now aimed at; with no executor
+        alive, the next spawn starts at that width.
+        """
+        desired = self.width_for(queue_depth)
+        grew = False
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            self._target = desired
+            executor = self._executor
+            if executor is not None and desired > self._size:
+                # CPython detail, guarded: ProcessPoolExecutor sizes its
+                # on-demand process spawning off _max_workers; raising it
+                # on a live executor is a pure widen.  If the attribute
+                # ever vanishes, growth falls back to the replace-when-
+                # safe path in _ensure on the next batch.
+                if hasattr(executor, "_max_workers"):
+                    executor._max_workers = desired
+                    self._size = desired
+                    grew = True
+        if grew:
+            self._record("pool.grows", stats=stats)
+        return desired
+
+    # -- single-task dispatch (the serving path) ---------------------------
+    def run_one(
+        self,
+        fn: Callable[[_I], _O],
+        item: _I,
+        *,
+        timeout: Optional[float] = None,
+        stats: Optional[Any] = None,
+    ) -> _O:
+        """Run one task on the pool, with a deadline — the serving primitive.
+
+        Where :meth:`map` is the batch entry point, ``run_one`` is what a
+        request/response service calls per request: it submits a single
+        task to the live executor (spawning one at the last
+        :meth:`scale_to` width if needed — serving always wants warm
+        workers, so there is no inline fallback), waits at most
+        ``timeout`` seconds, and raises :class:`PoolTimeout` when the
+        deadline passes (the worker finishes the task in the background;
+        its result is discarded).  A :class:`BrokenProcessPool` — a
+        killed worker — respawns the executor and retries the task once;
+        a second break propagates.  Lifecycle events are attributed to
+        ``stats`` (the calling session).
+        """
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            self._active += 1
+            self._cancel_idle_timer_locked()
+        try:
+            return self._run_one_recovering(fn, item, timeout, stats)
+        finally:
+            with self._lock:
+                self._active -= 1
+                if self._active == 0:
+                    self._idle_cv.notify_all()
+            self._arm_idle_timer()
+
+    def _run_one_recovering(
+        self,
+        fn: Callable[[_I], _O],
+        item: _I,
+        timeout: Optional[float],
+        stats: Optional[Any],
+    ) -> _O:
+        retried = False
+        while True:
+            with self._lock:
+                desired = self._target if self._target is not None else None
+            if desired is None:
+                desired = self.width_for(1)
+            executor = self._ensure(desired, stats)
+            try:
+                future = executor.submit(fn, item)
+            except (BrokenProcessPool, RuntimeError) as err:
+                # the executor died before the submit — or a concurrent
+                # close() shut it down (submit's generic RuntimeError);
+                # on a closed pool the retry's _ensure raises the clear
+                # "WorkerPool is closed"
+                if retried:
+                    raise
+                self._note_break(executor, stats)
+                retried = True
+                continue
+            done, _ = wait([future], timeout=timeout)
+            if not done:
+                future.cancel()
+                self._record("pool.timeouts", stats=stats)
+                raise PoolTimeout(timeout if timeout is not None else 0.0)
+            err = future.exception()
+            if err is None:
+                return future.result()
+            if not isinstance(err, BrokenProcessPool):
+                raise err
+            if retried:
+                raise BrokenProcessPool(
+                    "worker pool broke again after a respawn; giving up"
+                )
+            self._note_break(executor, stats)
+            retried = True
+
+    def _note_break(
+        self, executor: ProcessPoolExecutor, stats: Optional[Any]
+    ) -> None:
+        """Account for one broken-executor retry (respawn + retried item)."""
+        if self._discard_broken(executor):
+            self._record("pool.respawns", stats=stats)
+        self._record("pool.retried_items", stats=stats)
 
     # -- the batch entry point ---------------------------------------------
     def map(
@@ -271,6 +528,7 @@ class WorkerPool:
         items: Sequence[_I],
         *,
         max_workers: Optional[int] = None,
+        stats: Optional[Any] = None,
     ) -> List[_O]:
         """The :func:`~repro.api.executor.map_ordered` contract, persistent.
 
@@ -288,7 +546,8 @@ class WorkerPool:
         throw away exactly the warm worker caches the pool exists to
         keep.  Unpinned pools spawn at the machine's process width
         (workers materialise on demand), so ordinary growing batches
-        never force a cache-discarding resize.
+        never force a cache-discarding resize.  ``stats`` attributes this
+        batch's lifecycle events to the calling session (shared pools).
         """
         items = list(items)
         if not items:
@@ -301,10 +560,10 @@ class WorkerPool:
             else (
                 self._max_workers
                 if self._max_workers is not None
-                # size persistent executors to the machine, not the batch:
-                # idle slots cost nothing until used, and a later, larger
-                # batch never tears warm caches down to grow
-                else default_workers(os.cpu_count() or 1, backend="process")
+                # size persistent executors to the CPU allowance, not the
+                # batch: idle slots cost nothing until used, and a later,
+                # larger batch never tears warm caches down to grow
+                else default_workers(available_cpus(), backend="process")
             )
         )
         if self._executor is None and (desired <= 1 or len(items) <= 1):
@@ -321,7 +580,7 @@ class WorkerPool:
             self._active += 1
             self._cancel_idle_timer_locked()
         try:
-            return self._map_recovering(fn, items, desired)
+            return self._map_recovering(fn, items, desired, stats)
         finally:
             with self._lock:
                 self._active -= 1
@@ -330,13 +589,17 @@ class WorkerPool:
             self._arm_idle_timer()
 
     def _map_recovering(
-        self, fn: Callable[[_I], _O], items: List[_I], desired: int
+        self,
+        fn: Callable[[_I], _O],
+        items: List[_I],
+        desired: int,
+        stats: Optional[Any] = None,
     ) -> List[_O]:
         results: Dict[int, _O] = {}
         pending: List[Tuple[int, _I]] = list(enumerate(items))
         retried = False
         while pending:
-            executor = self._ensure(desired)
+            executor = self._ensure(desired, stats)
             ok, broken, failure = self._run_batch(executor, fn, pending)
             results.update(ok)
             if broken:
@@ -357,8 +620,8 @@ class WorkerPool:
                 )
             retried = True
             if discarded:
-                self._record("pool.respawns")
-            self._record("pool.retried_items", len(broken))
+                self._record("pool.respawns", stats=stats)
+            self._record("pool.retried_items", len(broken), stats=stats)
             # input order again: _run_batch collects submit-time breakage
             # before future breakage, and the retry's failure scan (and
             # the earliest-input-order exception contract) walks the

@@ -20,6 +20,8 @@ results are equivalent; one wins the cache slot).
 from __future__ import annotations
 
 import hashlib
+import pickle
+import sys
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -168,22 +170,73 @@ class SessionStats:
         return "; ".join(parts) if parts else "no cache traffic"
 
 
+#: byte cost charged to a cached artifact that cannot be pickled for
+#: sizing (some intermediate stage artifacts carry solvers/closures):
+#: deliberately pessimistic, so unsizeable entries cannot hide an
+#: unbounded cache behind a tiny byte estimate
+FALLBACK_ARTIFACT_BYTES = 64 * 1024
+
+
+def _approx_artifact_bytes(value: Any) -> int:
+    """Approximate in-memory weight of a cached artifact, in bytes.
+
+    Pickled size is the proxy: it is cheap, correlates with real
+    footprint across the artifact zoo (an :class:`InferenceResult` is
+    ~100x a parse, which entry-count LRU treats as equals), and is
+    already a supported operation for everything the process backend
+    ships.  Artifacts that refuse to pickle are charged
+    :data:`FALLBACK_ARTIFACT_BYTES` (or their shallow ``getsizeof`` if
+    larger).
+    """
+    try:
+        return len(pickle.dumps(value, pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        try:
+            shallow = sys.getsizeof(value)
+        except Exception:
+            shallow = 0
+        return max(shallow, FALLBACK_ARTIFACT_BYTES)
+
+
 class _ArtifactStore:
     """The keyed artifact cache a session injects into its pipelines.
 
     With ``max_entries`` set, the store is a bounded LRU: a hit refreshes
     the entry's recency, and an insert that pushes the store past the bound
     evicts the least-recently-used artifact (counted per stage kind in
-    :attr:`SessionStats.evictions`).  Unbounded by default.
+    :attr:`SessionStats.evictions`).  With ``max_bytes`` set the LRU is
+    **cost-aware**: each entry is weighted by its approximate pickled
+    size (:func:`_approx_artifact_bytes`), so one multi-megabyte
+    :class:`InferenceResult` counts for what it is instead of masquerading
+    as one entry among hundreds of kilobyte-scale parses — the bound a
+    multi-tenant service actually needs.  The most recent entry is never
+    evicted by the byte bound (the caller is holding it), so a single
+    oversized artifact degrades to cache-of-one rather than thrashing.
+    Both bounds may be set; either alone works.  Unbounded by default.
     """
 
-    def __init__(self, stats: SessionStats, max_entries: Optional[int] = None):
+    def __init__(
+        self,
+        stats: SessionStats,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self._data: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
+        self._costs: Dict[Tuple[str, Hashable], int] = {}
+        self._bytes = 0
         self._lock = threading.Lock()
         self._stats = stats
         self._max_entries = max_entries
+        self._max_bytes = max_bytes
+
+    def _evict_lru_locked(self) -> None:
+        (evicted_kind, evicted_key), _ = self._data.popitem(last=False)
+        self._bytes -= self._costs.pop((evicted_kind, evicted_key), 0)
+        self._stats.record_eviction(evicted_kind)
 
     def get_or_build(
         self, kind: str, key: Hashable, builder: Callable[[], Any]
@@ -203,14 +256,25 @@ class _ArtifactStore:
             with self._lock:
                 self._stats.record(kind, hit=False)
             raise
+        # size outside the lock too: pickling a large artifact is not free
+        cost = (
+            _approx_artifact_bytes(value) if self._max_bytes is not None else 0
+        )
         with self._lock:
             winner = self._data.setdefault(full_key, value)
+            if winner is value and full_key not in self._costs:
+                # we inserted (not the loser of a build race): account the
+                # entry's weight exactly once
+                self._costs[full_key] = cost
+                self._bytes += cost
             self._data.move_to_end(full_key)
             self._stats.record(kind, hit=False)
             if self._max_entries is not None:
                 while len(self._data) > self._max_entries:
-                    (evicted_kind, _), _ = self._data.popitem(last=False)
-                    self._stats.record_eviction(evicted_kind)
+                    self._evict_lru_locked()
+            if self._max_bytes is not None:
+                while self._bytes > self._max_bytes and len(self._data) > 1:
+                    self._evict_lru_locked()
         return winner, False
 
     def contains(self, kind: str, key: Hashable) -> bool:
@@ -226,10 +290,18 @@ class _ArtifactStore:
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
+            self._costs.clear()
+            self._bytes = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)
+
+    @property
+    def bytes_used(self) -> int:
+        """Approximate bytes held (0 unless a byte bound is configured)."""
+        with self._lock:
+            return self._bytes
 
 
 class Session:
@@ -240,10 +312,14 @@ class Session:
     is how ablation sweeps share one session (and therefore one parse and
     one class annotation) across configurations.
 
-    ``max_cache_entries`` bounds the artifact cache: a long-lived session
-    serving many distinct programs evicts its least-recently-used artifacts
-    instead of growing without bound (evictions are visible in
-    :attr:`Session.stats`).  ``None`` (the default) keeps every artifact.
+    ``max_cache_entries`` bounds the artifact cache by entry count and
+    ``max_cache_bytes`` bounds it by approximate pickled size: a
+    long-lived session serving many distinct programs evicts its
+    least-recently-used artifacts instead of growing without bound
+    (evictions are visible in :attr:`Session.stats`).  The byte bound is
+    the one services want — an :class:`InferenceResult` weighs ~100x a
+    parse artifact, which the entry bound cannot see.  ``None`` (the
+    default) keeps every artifact.
 
     ``backend`` is the default executor backend for this session's batch
     entry points (``"thread"``, ``"process"`` or ``"auto"``; see
@@ -261,6 +337,17 @@ class Session:
     session itself stays usable; a later batch simply spawns a fresh
     pool.  ``pool_idle_timeout`` (seconds) reaps idle workers in
     long-lived services the same way.
+
+    Alternatively ``pool=`` attaches the session to a **shared**
+    :class:`~repro.api.pool.WorkerPool` it does not own: the serving
+    daemon (:mod:`repro.serve`) multiplexes one pool under many
+    per-tenant sessions this way.  The session takes a reference
+    (:meth:`WorkerPool.acquire <repro.api.pool.WorkerPool.acquire>`) at
+    construction and releases it in :meth:`close`; workers shut down when
+    the last sharer releases.  Pool lifecycle events caused by *this*
+    session's batches are attributed to *this* session's
+    :attr:`Session.stats` (``pool.*`` event kinds), so per-tenant
+    observability survives the sharing.
     """
 
     def __init__(
@@ -269,30 +356,44 @@ class Session:
         *,
         max_workers: Optional[int] = None,
         max_cache_entries: Optional[int] = None,
+        max_cache_bytes: Optional[int] = None,
         backend: Optional[str] = None,
         pool_idle_timeout: Optional[float] = None,
+        pool: Optional[WorkerPool] = None,
     ):
         self.config = config or InferenceConfig()
         self.max_workers = max_workers
         self.max_cache_entries = max_cache_entries
+        self.max_cache_bytes = max_cache_bytes
         self.backend = backend
         self.pool_idle_timeout = pool_idle_timeout
         self.stats = SessionStats()
-        self._store = _ArtifactStore(self.stats, max_entries=max_cache_entries)
+        self._store = _ArtifactStore(
+            self.stats,
+            max_entries=max_cache_entries,
+            max_bytes=max_cache_bytes,
+        )
         self._pool: Optional[WorkerPool] = None
+        self._shared_pool: Optional[WorkerPool] = (
+            pool.acquire() if pool is not None else None
+        )
         self._pool_lock = threading.Lock()
 
     # -- the worker pool ---------------------------------------------------
     def process_pool(self) -> WorkerPool:
-        """This session's persistent process pool (created on first call).
+        """This session's process pool (shared if attached, else owned).
 
-        Worker sessions inherit the session's cache bound when it has one;
-        an unbounded session still bounds its workers at
+        A session constructed with ``pool=`` always answers with that
+        shared pool.  Otherwise the session creates its own on first
+        call; worker sessions inherit the session's cache bound when it
+        has one, and an unbounded session still bounds its workers at
         :data:`~repro.api.pool.DEFAULT_WORKER_CACHE_ENTRIES` entries,
         because pool workers persist across batches and would otherwise
         grow without limit.
         """
         with self._pool_lock:
+            if self._shared_pool is not None:
+                return self._shared_pool
             if self._pool is None:
                 self._pool = WorkerPool(
                     max_workers=self.max_workers,
@@ -307,15 +408,20 @@ class Session:
             return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool, if one was spawned.  Idempotent.
+        """Release this session's pool (owned: shut down; shared: one ref).
 
-        The session remains fully usable afterwards — caches and stats are
-        untouched, and the next process-backend batch spawns a fresh pool.
+        Idempotent.  The session remains fully usable afterwards — caches
+        and stats are untouched, and the next process-backend batch
+        spawns a fresh session-owned pool (a released shared pool is not
+        re-attached).
         """
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            shared, self._shared_pool = self._shared_pool, None
         if pool is not None:
             pool.close()
+        if shared is not None:
+            shared.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -326,14 +432,17 @@ class Session:
     def _pool_alive(self) -> bool:
         """Whether a pool with live workers exists right now (no spawn)."""
         with self._pool_lock:
-            return self._pool is not None and self._pool.alive
+            pool = self._shared_pool if self._shared_pool is not None else self._pool
+            return pool is not None and pool.alive
 
-    def _merge_worker_delta(self, delta: Dict[str, Dict[str, int]]) -> None:
+    def merge_worker_delta(self, delta: Dict[str, Dict[str, int]]) -> None:
         """Fold one worker task's stats delta into :attr:`stats`.
 
         Worker-side traffic is real cache activity, but it is not *this*
         store's: it is accounted under a ``worker.`` prefix so parent
-        counters keep meaning "the parent cache".
+        counters keep meaning "the parent cache".  (Public because the
+        serving router dispatches single worker tasks itself and accounts
+        for them the same way.)
         """
         self.stats.merge(
             {
@@ -341,6 +450,8 @@ class Session:
                 for bucket, counts in delta.items()
             }
         )
+
+    _merge_worker_delta = merge_worker_delta
 
     # -- pipelines ---------------------------------------------------------
     def pipeline(
@@ -525,11 +636,12 @@ class Session:
             _infer_task,
             [(src, cfg) for src in pending],
             max_workers=max_workers,
+            stats=self.stats,
         )
         shipped: Dict[str, InferenceResult] = {}
         failures: Dict[str, StageFailure] = {}
         for src, (result, failure, delta) in zip(pending, outcomes):
-            self._merge_worker_delta(delta)
+            self.merge_worker_delta(delta)
             if failure is not None:
                 failures[src] = failure
             else:
@@ -557,6 +669,45 @@ class Session:
             )
             out.append(value)
         return out
+
+    def infer_one(
+        self,
+        source: str,
+        config: Optional[InferenceConfig] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> InferenceResult:
+        """One inference on the process pool with a deadline — the serving path.
+
+        Where :meth:`infer` runs in the calling thread and :meth:`infer_many`
+        amortises a whole batch, ``infer_one`` is what a request/response
+        service calls per request: a cache hit answers immediately from
+        this session's store; a miss ships the source to the shared
+        :meth:`process_pool` as a single task
+        (:meth:`WorkerPool.run_one <repro.api.pool.WorkerPool.run_one>`),
+        waits at most ``timeout`` seconds
+        (:class:`~repro.api.pool.PoolTimeout` past the deadline), installs
+        the shipped result in the cache and merges the worker's cache
+        traffic into :attr:`stats`.  Raises :class:`StageFailure` when the
+        program itself fails.
+        """
+        cfg = config or self.config
+        key = (_source_key(source), config_key(cfg))
+        if self._store.contains("infer", key):
+            # the builder only runs in the rare race where the LRU evicted
+            # the entry between the contains() probe and the lookup
+            value, _ = self._store.get_or_build(
+                "infer", key, lambda: self.pipeline(source, cfg).infer().unwrap()
+            )
+            return value
+        result, failure, delta = self.process_pool().run_one(
+            _infer_task, (source, cfg), timeout=timeout, stats=self.stats
+        )
+        self.merge_worker_delta(delta)
+        if failure is not None:
+            raise failure
+        value, _ = self._store.get_or_build("infer", key, lambda: result)
+        return value
 
     def run_many(
         self,
@@ -647,10 +798,11 @@ class Session:
             _run_task,
             [(src, cfg, until) for src in sources],
             max_workers=max_workers,
+            stats=self.stats,
         )
         out: List[List[StageSummary]] = []
         for summaries_list, delta in outcomes:
-            self._merge_worker_delta(delta)
+            self.merge_worker_delta(delta)
             out.append(list(summaries_list))
         return out
 
@@ -662,3 +814,8 @@ class Session:
     @property
     def cache_size(self) -> int:
         return len(self._store)
+
+    @property
+    def cache_bytes(self) -> int:
+        """Approximate bytes cached (0 unless ``max_cache_bytes`` is set)."""
+        return self._store.bytes_used

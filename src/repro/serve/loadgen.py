@@ -1,0 +1,299 @@
+"""Closed-loop load generator for the :mod:`repro.serve` daemon.
+
+Drives ``POST /v1/infer`` with the Olden corpus over a sweep of
+concurrency levels and reports PKB-style samples.  Closed loop: each of
+``concurrency`` worker threads holds one keep-alive HTTP connection and
+issues its next request the moment the previous response lands, so
+offered load tracks service capacity instead of overrunning it — the
+sweep explores *saturation*, and any 429s it provokes at high
+concurrency are the admission controller doing its job, counted
+separately from failures.
+
+Each sample is a flat JSON object::
+
+    {"metric": "latency_p99", "value": 812.4, "unit": "ms",
+     "timestamp": 1754560000.0,
+     "metadata": {"corpus": "olden", "tenants": 2, "workers": 4,
+                  "concurrency": 8}}
+
+Per level: ``latency_p50`` / ``latency_p99`` / ``latency_mean`` (ms),
+``throughput`` (requests/s), ``requests_ok`` / ``requests_rejected`` /
+``requests_failed`` (count).  The acceptance bar for the subsystem reads
+straight off these: ``requests_failed`` must be zero at every level —
+overload shows up as rejections, never as failures or hangs.
+
+``--self-host`` (the default for ``repro loadgen`` without ``--host``)
+boots an in-process daemon on an ephemeral port first, which is what the
+CI benchmark-smoke step uses.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..bench.olden import OLDEN_PROGRAMS
+
+__all__ = [
+    "LoadgenConfig",
+    "LevelReport",
+    "run_loadgen",
+    "percentile",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by linear interpolation; 0.0 when empty."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
+@dataclass
+class LoadgenConfig:
+    """One sweep: where to aim, how hard, and with which programs."""
+
+    host: str = "127.0.0.1"
+    port: int = 8178
+    #: concurrency levels to sweep, in order
+    levels: Sequence[int] = (1, 2, 4, 8)
+    #: requests issued per level (across all workers)
+    requests_per_level: int = 24
+    #: distinct tenants the generator cycles through
+    tenants: int = 2
+    #: Olden program names to cycle through (all when empty)
+    programs: Sequence[str] = ()
+    #: per-request client-side timeout (seconds)
+    timeout: float = 120.0
+    endpoint: str = "/v1/infer"
+
+    def corpus(self) -> List[Tuple[str, str]]:
+        """The ``(name, source)`` work list the generator cycles through."""
+        names = list(self.programs) or sorted(OLDEN_PROGRAMS)
+        corpus = []
+        for name in names:
+            if name not in OLDEN_PROGRAMS:
+                raise ValueError(
+                    f"unknown Olden program {name!r}; "
+                    f"expected one of {sorted(OLDEN_PROGRAMS)}"
+                )
+            corpus.append((name, OLDEN_PROGRAMS[name].source))
+        return corpus
+
+
+@dataclass
+class LevelReport:
+    """What one concurrency level did."""
+
+    concurrency: int
+    ok: int = 0
+    rejected: int = 0
+    failed: int = 0
+    elapsed: float = 0.0
+    #: per-request wall latencies, seconds (successful requests only)
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Completed-successfully requests per second for the level."""
+        return self.ok / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class _Worker(threading.Thread):
+    """One closed-loop client: a keep-alive connection draining a work list."""
+
+    def __init__(
+        self,
+        config: LoadgenConfig,
+        work: List[Tuple[str, str, str]],
+        work_lock: threading.Lock,
+        report: LevelReport,
+        report_lock: threading.Lock,
+    ):
+        super().__init__(daemon=True)
+        self._config = config
+        self._work = work
+        self._work_lock = work_lock
+        self._report = report
+        self._report_lock = report_lock
+
+    def run(self) -> None:
+        conn = http.client.HTTPConnection(
+            self._config.host, self._config.port, timeout=self._config.timeout
+        )
+        try:
+            while True:
+                with self._work_lock:
+                    if not self._work:
+                        return
+                    name, source, tenant = self._work.pop()
+                self._one(conn, name, source, tenant)
+        finally:
+            conn.close()
+
+    def _one(
+        self,
+        conn: http.client.HTTPConnection,
+        name: str,
+        source: str,
+        tenant: str,
+    ) -> None:
+        body = json.dumps({"source": source, "tenant": tenant})
+        started = time.monotonic()
+        try:
+            conn.request(
+                "POST",
+                self._config.endpoint,
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            response.read()  # drain so the connection stays reusable
+            status = response.status
+        except (OSError, http.client.HTTPException):
+            # connection-level trouble: count it and start a fresh socket
+            conn.close()
+            with self._report_lock:
+                self._report.failed += 1
+            return
+        latency = time.monotonic() - started
+        with self._report_lock:
+            if status == 200:
+                self._report.ok += 1
+                self._report.latencies.append(latency)
+            elif status == 429:
+                self._report.rejected += 1
+            else:
+                self._report.failed += 1
+
+
+def _run_level(config: LoadgenConfig, concurrency: int) -> LevelReport:
+    corpus = config.corpus()
+    work: List[Tuple[str, str, str]] = []
+    for i in range(config.requests_per_level):
+        name, source = corpus[i % len(corpus)]
+        tenant = f"tenant-{i % max(config.tenants, 1)}"
+        work.append((name, source, tenant))
+    report = LevelReport(concurrency=concurrency)
+    work_lock, report_lock = threading.Lock(), threading.Lock()
+    workers = [
+        _Worker(config, work, work_lock, report, report_lock)
+        for _ in range(concurrency)
+    ]
+    started = time.monotonic()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    report.elapsed = time.monotonic() - started
+    return report
+
+
+def _samples_for(
+    report: LevelReport, metadata: Dict[str, Any], stamp: float
+) -> List[Dict[str, Any]]:
+    meta = dict(metadata, concurrency=report.concurrency)
+    ms = [s * 1000.0 for s in report.latencies]
+
+    def sample(metric: str, value: float, unit: str) -> Dict[str, Any]:
+        return {
+            "metric": metric,
+            "value": round(value, 3),
+            "unit": unit,
+            "timestamp": stamp,
+            "metadata": meta,
+        }
+
+    return [
+        sample("latency_p50", percentile(ms, 0.50), "ms"),
+        sample("latency_p99", percentile(ms, 0.99), "ms"),
+        sample("latency_mean", sum(ms) / len(ms) if ms else 0.0, "ms"),
+        sample("throughput", report.throughput, "requests/s"),
+        sample("requests_ok", report.ok, "count"),
+        sample("requests_rejected", report.rejected, "count"),
+        sample("requests_failed", report.failed, "count"),
+    ]
+
+
+def run_loadgen(
+    config: Optional[LoadgenConfig] = None,
+    *,
+    self_host: bool = False,
+    server_config: Optional[Any] = None,
+    output: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Sweep the configured concurrency levels; return the PKB report.
+
+    With ``self_host=True`` an in-process daemon is booted on an ephemeral
+    port first (``server_config`` customises it) and drained afterwards —
+    no external process needed.  ``output`` writes the report as JSON
+    (the ``BENCH_6.json`` artifact).
+    """
+    config = config or LoadgenConfig()
+    server = None
+    server_thread = None
+    if self_host:
+        from .router import ServerConfig
+        from .server import make_server
+
+        base = server_config or ServerConfig()
+        base.host, base.port, base.quiet = config.host, 0, True
+        server = make_server(base)
+        config.port = server.port
+        server_thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="loadgen-server",
+        )
+        server_thread.start()
+    stamp = time.time()
+    samples: List[Dict[str, Any]] = []
+    reports: List[LevelReport] = []
+    metadata = {
+        "corpus": "olden",
+        "tenants": config.tenants,
+        "workers": _server_workers(config, server),
+    }
+    try:
+        for level in config.levels:
+            report = _run_level(config, level)
+            reports.append(report)
+            samples.extend(_samples_for(report, metadata, stamp))
+    finally:
+        if server is not None:
+            server.shutdown()
+            server_thread.join()
+            server.close()
+    result = {
+        "benchmark": "serve_loadgen",
+        "samples": samples,
+        "summary": {
+            "levels": [r.concurrency for r in reports],
+            "total_ok": sum(r.ok for r in reports),
+            "total_rejected": sum(r.rejected for r in reports),
+            "total_failed": sum(r.failed for r in reports),
+        },
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+    return result
+
+
+def _server_workers(config: LoadgenConfig, server: Optional[Any]) -> Any:
+    """Best-effort worker-count metadata for the samples."""
+    if server is not None:
+        cap = server.router.config.max_workers
+        return cap if cap is not None else "auto"
+    return "external"

@@ -1,0 +1,428 @@
+"""Request routing: endpoints, admission, tenancy, pool scaling — no sockets.
+
+:class:`Router` is the whole daemon minus HTTP: it owns the shared
+:class:`~repro.api.pool.WorkerPool`, the :class:`~repro.serve.tenancy.
+TenantRegistry` and the :class:`~repro.serve.admission.AdmissionController`,
+and maps ``(method, path, headers, body)`` to ``(status, payload,
+headers)``.  The HTTP server (:mod:`repro.serve.server`) is a thin socket
+adapter over :meth:`Router.handle`; tests drive the router directly.
+
+Request lifecycle for the POST endpoints::
+
+    parse wire -> resolve tenant -> admission.acquire(deadline)
+        -> pool.scale_to(queue depth)          [process backend]
+        -> execute on the tenant's session     (pool task or inline)
+        -> admission.release(latency)
+
+Backends: ``process`` ships each cache-missing inference to the shared
+pool as a single task with a deadline (:meth:`Session.infer_one
+<repro.api.session.Session.infer_one>`); verification and execution run
+inline on the already-cached inference.  ``thread`` runs everything
+inline in the handler thread under the tenant's uid-band minting guard.
+``auto`` picks ``process`` exactly when the CPU allowance exceeds one
+core.
+
+Status codes: ``400`` malformed request, ``404``/``405`` routing, ``422``
+the *program* failed (parse/type/inference error — carries structured
+diagnostics), ``429`` admission or tenant-table backpressure (with
+``Retry-After``), ``503`` the request could not start before its
+deadline, ``504`` the pool task missed its deadline, ``500`` anything
+unexpected.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..api import (
+    PoolTimeout,
+    StageFailure,
+    WorkerPool,
+    available_cpus,
+    resolve_backend,
+)
+from ..api.executor import DEFAULT_WORKER_CACHE_ENTRIES
+from ..core import InferenceResult
+from ..lang.pretty import pretty_target
+from .admission import AdmissionController, AdmissionRejected, AdmissionTimeout
+from .tenancy import Tenant, TenantRegistry
+from .wire import (
+    InferRequest,
+    RunRequest,
+    WireError,
+    error_payload,
+    parse_json_body,
+)
+
+__all__ = ["Router", "ServerConfig", "DEFAULT_TENANT_CACHE_BYTES"]
+
+#: per-tenant artifact-cache byte bound unless configured otherwise: a
+#: tenant's cache holds results, not the corpus, and an InferenceResult
+#: is ~100x a parse — bound by bytes, not entries
+DEFAULT_TENANT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class ServerConfig:
+    """Everything the daemon is allowed to spend, in one place."""
+
+    host: str = "127.0.0.1"
+    port: int = 8178
+    #: ``thread`` | ``process`` | ``auto`` (process when >1 core allowed)
+    backend: str = "auto"
+    #: elastic pool band (process backend); the pool grows toward queue
+    #: depth and shrinks back to ``min_workers`` after ``pool_idle_timeout``
+    min_workers: int = 0
+    max_workers: Optional[int] = None
+    pool_idle_timeout: Optional[float] = None
+    #: admission: slots that execute / requests that may wait in line
+    max_concurrency: Optional[int] = None
+    max_pending: int = 16
+    #: server-side cap on any request's deadline (seconds)
+    request_timeout: float = 60.0
+    max_tenants: int = 64
+    #: per-tenant session cache bounds
+    max_cache_entries: Optional[int] = None
+    max_cache_bytes: Optional[int] = DEFAULT_TENANT_CACHE_BYTES
+    #: largest request body accepted (enforced by the HTTP layer)
+    max_body_bytes: int = 2 * 1024 * 1024
+    #: idle keep-alive connections are dropped after this long.  This is
+    #: what keeps graceful drain bounded: ``server_close`` joins every
+    #: handler thread, and a handler parked on an idle keep-alive socket
+    #: would hold it up indefinitely — notably when a forked pool worker
+    #: inherits a duplicate of the client's socket, so even the client
+    #: closing does not deliver EOF to the handler
+    keepalive_timeout: float = 5.0
+    quiet: bool = False
+
+    def resolved_backend(self) -> str:
+        # n_items=2: serving is a many-request workload by definition, so
+        # "auto" should key off the core allowance alone
+        return resolve_backend(self.backend, 2)
+
+    def resolved_concurrency(self) -> int:
+        if self.max_concurrency is not None:
+            return self.max_concurrency
+        return max(2, available_cpus())
+
+
+class Router:
+    """The daemon's request brain; one per server process."""
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self.backend = self.config.resolved_backend()
+        self.pool = WorkerPool(
+            max_workers=self.config.max_workers,
+            min_workers=self.config.min_workers,
+            idle_timeout=self.config.pool_idle_timeout,
+            max_cache_entries=(
+                self.config.max_cache_entries
+                if self.config.max_cache_entries is not None
+                else DEFAULT_WORKER_CACHE_ENTRIES
+            ),
+        )
+        self.registry = TenantRegistry(
+            self.pool,
+            max_tenants=self.config.max_tenants,
+            max_cache_entries=self.config.max_cache_entries,
+            max_cache_bytes=self.config.max_cache_bytes,
+        )
+        self.admission = AdmissionController(
+            self.config.resolved_concurrency(), self.config.max_pending
+        )
+        self.started_at = time.time()
+        self._counters: Dict[str, int] = {}
+        self._counter_lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Drain-free teardown: close tenant sessions, release the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self.registry.close()
+        self.pool.close()
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _count(self, kind: str, n: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[kind] = self._counters.get(kind, 0) + n
+
+    # -- dispatch ----------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        headers: Optional[Dict[str, str]] = None,
+        body: bytes = b"",
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """One request in, ``(status, payload, response-headers)`` out."""
+        headers = headers or {}
+        started = time.monotonic()
+        endpoint = f"{method} {path}"
+        try:
+            status, payload, extra = self._dispatch(method, path, headers, body)
+        except WireError as err:
+            status, payload, extra = (
+                400,
+                error_payload("bad_request", str(err), field=err.field),
+                {},
+            )
+        except AdmissionRejected as err:
+            status, payload, extra = (
+                429,
+                error_payload(
+                    "overloaded", str(err), retry_after=err.retry_after
+                ),
+                {"Retry-After": str(err.retry_after)},
+            )
+        except AdmissionTimeout as err:
+            retry = self.admission.retry_after()
+            status, payload, extra = (
+                503,
+                error_payload("queue_timeout", str(err), retry_after=retry),
+                {"Retry-After": str(retry)},
+            )
+        except PoolTimeout as err:
+            status, payload, extra = (
+                504,
+                error_payload("inference_timeout", str(err)),
+                {},
+            )
+        except StageFailure as err:
+            status, payload, extra = (
+                422,
+                error_payload(
+                    "program_error",
+                    f"stage {err.stage!r} failed",
+                    diagnostics=err.diagnostics,
+                ),
+                {},
+            )
+        except Exception as err:  # noqa: BLE001 -- the serving boundary
+            status, payload, extra = (
+                500,
+                error_payload("internal", f"{type(err).__name__}: {err}"),
+                {},
+            )
+        self._count("requests_total")
+        self._count(f"endpoint.{endpoint}")
+        self._count(f"status.{status}")
+        self._observe_latency(time.monotonic() - started)
+        return status, payload, extra
+
+    def _observe_latency(self, elapsed: float) -> None:
+        # integer-microsecond welford-free accounting: total + count is
+        # all the stats endpoint needs for a mean
+        with self._counter_lock:
+            self._counters["latency_us_total"] = self._counters.get(
+                "latency_us_total", 0
+            ) + int(elapsed * 1e6)
+
+    def _dispatch(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if path == "/healthz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, self._healthz(), {}
+        if path == "/v1/stats":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, self._stats(), {}
+        if path in ("/v1/infer", "/v1/check", "/v1/run"):
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return self._serve_engine(path, headers, body)
+        return (
+            404,
+            error_payload("not_found", f"no route for {path!r}"),
+            {},
+        )
+
+    @staticmethod
+    def _method_not_allowed(
+        allowed: str,
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        return (
+            405,
+            error_payload("method_not_allowed", f"use {allowed}"),
+            {"Allow": allowed},
+        )
+
+    # -- the engine endpoints ----------------------------------------------
+    def _serve_engine(
+        self, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        payload = parse_json_body(body)
+        tenant_header = headers.get("X-Repro-Tenant") or headers.get(
+            "x-repro-tenant"
+        )
+        cap = self.config.request_timeout
+        if path == "/v1/run":
+            request: Any = RunRequest.from_payload(
+                payload, tenant_header=tenant_header, timeout_cap=cap
+            )
+        else:
+            request = InferRequest.from_payload(
+                payload, tenant_header=tenant_header, timeout_cap=cap
+            )
+        try:
+            tenant = self.registry.get_or_create(request.tenant)
+        except ValueError:
+            # tenant slots are a bounded resource exactly like admission
+            # slots; refuse with backpressure, not a hang
+            raise AdmissionRejected(self.admission.retry_after())
+        deadline = time.monotonic() + request.timeout
+        self.admission.acquire(timeout=request.timeout)
+        started = time.monotonic()
+        try:
+            with self._counter_lock:
+                tenant.requests += 1
+            if self.backend == "process":
+                self.pool.scale_to(
+                    self.admission.depth, stats=tenant.session.stats
+                )
+            if path == "/v1/infer":
+                response = self._infer(tenant, request, deadline)
+            elif path == "/v1/check":
+                response = self._check(tenant, request, deadline)
+            else:
+                response = self._run(tenant, request, deadline)
+            return 200, response, {}
+        finally:
+            self.admission.release(time.monotonic() - started)
+
+    def _inference(
+        self, tenant: Tenant, request: Any, deadline: float
+    ) -> Tuple[InferenceResult, bool]:
+        """The shared infer step: cached answer, pool task, or inline run."""
+        session = tenant.session
+        hits_before = session.stats.hit_count("infer")
+        if self.backend == "process":
+            result = session.infer_one(
+                request.source,
+                request.config,
+                timeout=max(deadline - time.monotonic(), 0.001),
+            )
+        else:
+            with tenant.minting():
+                result = session.infer(request.source, request.config)
+        return result, session.stats.hit_count("infer") > hits_before
+
+    def _infer(
+        self, tenant: Tenant, request: InferRequest, deadline: float
+    ) -> Dict[str, Any]:
+        result, cached = self._inference(tenant, request, deadline)
+        return {
+            "ok": True,
+            "tenant": tenant.name,
+            "cached": cached,
+            "target": pretty_target(result.target),
+            "fingerprint": result.fingerprint(),
+            "stats": {
+                "inference_seconds": result.elapsed,
+                "localized_regions": result.total_localized,
+            },
+            "diagnostics": [],
+        }
+
+    def _check(
+        self, tenant: Tenant, request: InferRequest, deadline: float
+    ) -> Dict[str, Any]:
+        # the heavy half (inference) goes wherever the backend sends it;
+        # verification then runs inline against the now-cached result
+        _, cached = self._inference(tenant, request, deadline)
+        session = tenant.session
+        with tenant.minting():
+            pipe = session.pipeline(request.source, request.config)
+            stage = pipe.verify()
+        if stage.skipped:
+            failed = pipe.failure()
+            raise StageFailure(
+                failed.stage if failed is not None else "verify",
+                pipe.diagnostics(),
+            )
+        report = stage.value
+        return {
+            "ok": True,
+            "tenant": tenant.name,
+            "cached": cached,
+            "verified": report.ok,
+            "obligations": report.obligations,
+            "diagnostics": [d.to_dict() for d in stage.diagnostics],
+        }
+
+    def _run(
+        self, tenant: Tenant, request: RunRequest, deadline: float
+    ) -> Dict[str, Any]:
+        _, cached = self._inference(tenant, request, deadline)
+        session = tenant.session
+        with tenant.minting():
+            execution = session.execute(
+                request.source,
+                request.entry,
+                request.args,
+                request.config,
+                recursion_limit=request.recursion_limit,
+            )
+        return {
+            "ok": True,
+            "tenant": tenant.name,
+            "cached": cached,
+            **execution.to_dict(),
+            "diagnostics": [],
+        }
+
+    # -- the read-only endpoints -------------------------------------------
+    def _healthz(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "status": "ok",
+            "backend": self.backend,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        }
+
+    def _stats(self) -> Dict[str, Any]:
+        with self._counter_lock:
+            counters = dict(self._counters)
+        tenants = {}
+        for name, tenant in sorted(self.registry.tenants().items()):
+            tenants[name] = {
+                "requests": tenant.requests,
+                "cache_size": tenant.session.cache_size,
+                "cache_bytes": tenant.session.cache_bytes,
+                "uid_band": tenant.band,
+                "stats": tenant.session.stats.as_dict(),
+            }
+        return {
+            "ok": True,
+            "server": {
+                "backend": self.backend,
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "counters": counters,
+            },
+            "admission": self.admission.snapshot(),
+            "pool": {
+                "alive": self.pool.alive,
+                "size": self.pool.size,
+                "refs": self.pool.refs,
+                "min_workers": self.pool.min_workers,
+                "counters": dict(self.pool.counters),
+            },
+            "tenants": tenants,
+        }

@@ -169,10 +169,19 @@ class TestBackendSelection(object):
     def test_auto_resolution_is_core_and_batch_aware(self, monkeypatch):
         import repro.api.executor as executor
 
-        monkeypatch.setattr(executor.os, "cpu_count", lambda: 8)
+        # the CPU allowance is the affinity mask where the platform has
+        # one (available_cpus), not the raw machine core count
+        monkeypatch.setattr(
+            executor.os,
+            "sched_getaffinity",
+            lambda pid: set(range(8)),
+            raising=False,
+        )
         assert resolve_backend("auto", 10) == "process"
         assert resolve_backend("auto", 1) == "thread"
-        monkeypatch.setattr(executor.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(
+            executor.os, "sched_getaffinity", lambda pid: {0}, raising=False
+        )
         assert resolve_backend("auto", 10) == "thread"
         assert resolve_backend(None, 10) == "thread"
 

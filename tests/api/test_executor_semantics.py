@@ -126,21 +126,30 @@ class TestDefaultWorkers(object):
     def test_thread_cap_is_gil_bound(self, monkeypatch):
         import repro.api.executor as executor
 
-        monkeypatch.setattr(executor.os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            executor.os, "sched_getaffinity", lambda pid: set(range(64)),
+            raising=False,
+        )
         assert default_workers(100) == 8
         assert default_workers(100, backend="thread") == 8
 
     def test_process_cap_scales_with_cores(self, monkeypatch):
         import repro.api.executor as executor
 
-        monkeypatch.setattr(executor.os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            executor.os, "sched_getaffinity", lambda pid: set(range(64)),
+            raising=False,
+        )
         assert default_workers(100, backend="process") == 64
         assert default_workers(3, backend="process") == 3
 
     def test_bounded_by_the_workload_and_never_zero(self, monkeypatch):
         import repro.api.executor as executor
 
-        monkeypatch.setattr(executor.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(
+            executor.os, "sched_getaffinity", lambda pid: set(range(4)),
+            raising=False,
+        )
         assert default_workers(2) == 2
         assert default_workers(0) == 1
         assert default_workers(0, backend="process") == 1
@@ -157,10 +166,15 @@ class TestResolveBackend(object):
     def test_auto(self, monkeypatch):
         import repro.api.executor as executor
 
-        monkeypatch.setattr(executor.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(
+            executor.os, "sched_getaffinity", lambda pid: set(range(8)),
+            raising=False,
+        )
         assert resolve_backend("auto", 2) == "process"
         assert resolve_backend("auto", 1) == "thread"
-        monkeypatch.setattr(executor.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(
+            executor.os, "sched_getaffinity", lambda pid: {0}, raising=False
+        )
         assert resolve_backend("auto", 2) == "thread"
 
     def test_rejects_unknown(self):

@@ -148,9 +148,14 @@ class TestWorkerPoolMap(object):
             assert pool.counters["pool.spawns"] == 1
 
     def test_unpinned_pools_size_to_the_machine_not_the_batch(self, monkeypatch):
-        import repro.api.pool as pool_mod
+        import repro.api.executor as executor
 
-        monkeypatch.setattr(pool_mod.os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(
+            executor.os,
+            "sched_getaffinity",
+            lambda pid: set(range(4)),
+            raising=False,
+        )
         with WorkerPool() as pool:
             assert pool.map(_double, [1, 2]) == [2, 4]
             assert pool.size == 4  # machine width, not batch width

@@ -1,0 +1,111 @@
+"""The admission gate: run now, wait briefly, or refuse fast."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionTimeout,
+)
+
+
+class TestTriage(object):
+    def test_slots_admit_without_waiting(self):
+        gate = AdmissionController(2, 0)
+        gate.acquire()
+        gate.acquire()
+        assert gate.depth == 2
+        gate.release()
+        gate.release()
+        assert gate.depth == 0
+
+    def test_full_line_rejects_immediately(self):
+        gate = AdmissionController(1, 0)
+        gate.acquire()
+        started = time.monotonic()
+        with pytest.raises(AdmissionRejected) as exc:
+            gate.acquire(timeout=10.0)
+        assert time.monotonic() - started < 1.0  # refused, not queued
+        assert exc.value.retry_after >= 1
+        gate.release()
+
+    def test_waiters_get_the_slot_when_it_frees(self):
+        gate = AdmissionController(1, 1)
+        gate.acquire()
+        got = threading.Event()
+
+        def waiter():
+            gate.acquire(timeout=10.0)
+            got.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        assert not got.is_set()
+        assert gate.depth == 2  # one running, one waiting
+        gate.release()
+        t.join(5.0)
+        assert got.is_set()
+        gate.release()
+
+    def test_deadline_in_line_raises_timeout(self):
+        gate = AdmissionController(1, 1)
+        gate.acquire()
+        with pytest.raises(AdmissionTimeout):
+            gate.acquire(timeout=0.05)
+        assert gate.snapshot()["wait_timeouts"] == 1
+        gate.release()
+
+    def test_second_waiter_beyond_the_room_is_rejected(self):
+        gate = AdmissionController(1, 1)
+        gate.acquire()
+        results = []
+
+        def waiter():
+            try:
+                gate.acquire(timeout=5.0)
+                results.append("admitted")
+            except AdmissionRejected:
+                results.append("rejected")
+
+        t1 = threading.Thread(target=waiter)
+        t1.start()
+        time.sleep(0.05)  # t1 is now waiting; the room (size 1) is full
+        with pytest.raises(AdmissionRejected):
+            gate.acquire(timeout=5.0)
+        gate.release()
+        t1.join(5.0)
+        assert results == ["admitted"]
+        gate.release()
+
+
+class TestRetryAfter(object):
+    def test_scales_with_observed_latency_and_backlog(self):
+        gate = AdmissionController(1, 0)
+        gate.acquire()
+        gate.release(latency=4.0)
+        assert gate.retry_after() == 4  # empty line, one 4s slot
+        gate.acquire()
+        assert gate.retry_after() == 8  # one running + the newcomer
+
+    def test_defaults_to_at_least_one_second(self):
+        gate = AdmissionController(8, 0)
+        assert gate.retry_after() >= 1
+
+
+class TestValidation(object):
+    def test_bounds_must_be_sane(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0, 1)
+        with pytest.raises(ValueError):
+            AdmissionController(1, -1)
+
+    def test_snapshot_shape(self):
+        gate = AdmissionController(2, 3)
+        snap = gate.snapshot()
+        assert snap["max_concurrency"] == 2
+        assert snap["max_pending"] == 3
+        assert snap["admitted"] == snap["rejected"] == 0

@@ -1,0 +1,104 @@
+"""The serve-facing CLI surface: ``batch --stats`` and ``loadgen``.
+
+The ``serve`` subcommand itself (a blocking daemon) is covered by its
+parser wiring here and end to end by the HTTP tests; running it inline
+would park the test on ``serve_forever``.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from tests.conftest import PAIR_SOURCE
+
+
+@pytest.fixture()
+def batch_files(tmp_path):
+    good = tmp_path / "pair.cj"
+    good.write_text(PAIR_SOURCE)
+    return [str(good)]
+
+
+class TestBatchStats(object):
+    def test_stats_prints_session_stats_as_json(self, batch_files, capsys):
+        assert main(["batch", *batch_files, "--stats"]) == 0
+        out = capsys.readouterr().out
+        # the JSON block is the printed SessionStats.as_dict()
+        start = out.index("{")
+        stats = json.loads(out[start:])
+        assert set(stats) == {"hits", "misses", "evictions", "events"}
+        assert stats["misses"]["infer"] == 1
+
+    def test_stats_rides_along_in_json_format(self, batch_files, capsys):
+        assert main(
+            ["batch", *batch_files, "--stats", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["stats"]["misses"]["infer"] == 1
+
+    def test_without_the_flag_no_stats_key(self, batch_files, capsys):
+        assert main(["batch", *batch_files, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "stats" not in payload
+
+
+class TestLoadgenCommand(object):
+    def test_self_hosted_sweep_writes_the_artifact(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_6.json"
+        code = main(
+            [
+                "loadgen",
+                "--levels", "1", "2",
+                "--requests", "4",
+                "--tenants", "2",
+                "--programs", "treeadd",
+                "--backend", "thread",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "0 failed" in text
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "serve_loadgen"
+        assert report["summary"]["total_failed"] == 0
+        assert {s["metric"] for s in report["samples"]} >= {
+            "latency_p50",
+            "latency_p99",
+            "throughput",
+        }
+
+
+class TestServeParser(object):
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.func.__name__ == "cmd_serve"
+        assert args.port == 8178
+        assert args.max_pending == 16
+        assert args.min_workers == 0
+        assert args.backend is None  # resolved to auto by cmd_serve
+
+    def test_knobs_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--backend", "process",
+                "--jobs", "4",
+                "--min-workers", "1",
+                "--max-concurrency", "8",
+                "--max-pending", "0",
+                "--request-timeout", "10",
+                "--idle-timeout", "2.5",
+                "--quiet",
+            ]
+        )
+        assert args.jobs == 4
+        assert args.min_workers == 1
+        assert args.max_concurrency == 8
+        assert args.max_pending == 0
+        assert args.request_timeout == 10.0
+        assert args.idle_timeout == 2.5
+        assert args.quiet is True

@@ -1,0 +1,102 @@
+"""The load generator: percentiles, sweeps, the PKB sample contract."""
+
+import json
+
+import pytest
+
+from repro.serve import LoadgenConfig, ServerConfig, run_loadgen
+from repro.serve.loadgen import LevelReport, percentile
+
+EXPECTED_METRICS = {
+    "latency_p50",
+    "latency_p99",
+    "latency_mean",
+    "throughput",
+    "requests_ok",
+    "requests_rejected",
+    "requests_failed",
+}
+
+
+class TestPercentile(object):
+    def test_empty_and_singleton(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == 2.5
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+class TestConfig(object):
+    def test_corpus_defaults_to_all_olden(self):
+        corpus = LoadgenConfig().corpus()
+        assert len(corpus) >= 5
+        assert all(src.strip() for _, src in corpus)
+
+    def test_unknown_program_is_rejected(self):
+        with pytest.raises(ValueError):
+            LoadgenConfig(programs=("not-a-benchmark",)).corpus()
+
+
+class TestLevelReport(object):
+    def test_throughput(self):
+        report = LevelReport(concurrency=2, ok=10, elapsed=2.0)
+        assert report.throughput == 5.0
+        assert LevelReport(concurrency=1).throughput == 0.0
+
+
+class TestSweep(object):
+    def test_self_hosted_sweep_produces_the_bench_artifact(self, tmp_path):
+        out = tmp_path / "bench.json"
+        result = run_loadgen(
+            LoadgenConfig(
+                levels=(1, 2),
+                requests_per_level=4,
+                tenants=2,
+                programs=("treeadd",),
+            ),
+            self_host=True,
+            server_config=ServerConfig(backend="thread"),
+            output=str(out),
+        )
+        summary = result["summary"]
+        assert summary["total_ok"] == 8
+        assert summary["total_failed"] == 0
+        assert summary["levels"] == [1, 2]
+        # one full metric set per level
+        by_level = {}
+        for sample in result["samples"]:
+            by_level.setdefault(
+                sample["metadata"]["concurrency"], set()
+            ).add(sample["metric"])
+            assert set(sample) == {
+                "metric", "value", "unit", "timestamp", "metadata",
+            }
+            assert sample["metadata"]["corpus"] == "olden"
+            assert sample["metadata"]["tenants"] == 2
+        assert by_level == {1: EXPECTED_METRICS, 2: EXPECTED_METRICS}
+        # the artifact on disk is the same report
+        assert json.loads(out.read_text())["summary"] == summary
+
+    def test_sweep_reports_rejections_not_failures_under_overload(self):
+        # a deliberately starved daemon: one slot, no waiting room — every
+        # concurrent surplus request must come back 429, never an error
+        result = run_loadgen(
+            LoadgenConfig(
+                levels=(4,), requests_per_level=8, programs=("treeadd",)
+            ),
+            self_host=True,
+            server_config=ServerConfig(
+                backend="thread", max_concurrency=1, max_pending=0
+            ),
+        )
+        summary = result["summary"]
+        assert summary["total_failed"] == 0
+        assert summary["total_ok"] >= 1
+        assert summary["total_ok"] + summary["total_rejected"] == 8
