@@ -8,6 +8,8 @@ Commands (all built on the staged :mod:`repro.api` pipeline):
   region-based interpreter, reporting space statistics
 * ``report FILE``  -- per-class/per-method inference statistics
 * ``batch FILE...`` -- batch inference over many files on a worker pool
+* ``watch FILE``   -- re-infer incrementally on every change to the file,
+  printing per-edit latency and SCC splice/re-infer counts
 * ``fig8`` / ``fig9`` -- regenerate the paper's evaluation tables
 * ``serve``        -- the multi-tenant HTTP inference daemon
   (:mod:`repro.serve`; see ``docs/serving.md``)
@@ -301,6 +303,81 @@ def cmd_batch(args: argparse.Namespace, session: Session) -> int:
     return EXIT_ERROR if failures else EXIT_OK
 
 
+def cmd_watch(args: argparse.Namespace, session: Session) -> int:
+    import time
+
+    path = Path(args.file)
+    config = _config(args)
+    document = str(path)
+
+    def infer_once():
+        source = path.read_text()
+        start = time.perf_counter()
+        result = session.reinfer(source, config, document=document)
+        return result, time.perf_counter() - start
+
+    events: List[Dict[str, Any]] = []
+
+    def report(result, seconds: float, edit: bool) -> None:
+        total = result.reused_sccs + result.reinferred_sccs
+        events.append(
+            {
+                "edit": edit,
+                "seconds": seconds,
+                "reused_sccs": result.reused_sccs,
+                "reinferred_sccs": result.reinferred_sccs,
+            }
+        )
+        if args.format != "json":
+            label = "edit" if edit else "initial"
+            print(
+                f"{label}: {seconds * 1000:.1f} ms "
+                f"({result.reused_sccs}/{total} SCCs spliced, "
+                f"{result.reinferred_sccs} re-inferred)",
+                flush=True,
+            )
+
+    try:
+        result, seconds = infer_once()
+    except StageFailure as err:
+        return _fail(args, "watch", err.diagnostics)
+    report(result, seconds, edit=False)
+    seen = path.stat().st_mtime_ns
+    remaining = args.iterations
+    try:
+        while remaining is None or remaining > 0:
+            time.sleep(args.interval)
+            try:
+                mtime = path.stat().st_mtime_ns
+            except OSError:
+                continue  # mid-rename: the next poll sees the new file
+            if mtime == seen:
+                continue
+            seen = mtime
+            if remaining is not None:
+                remaining -= 1
+            try:
+                result, seconds = infer_once()
+            except StageFailure as err:
+                # a broken intermediate state is normal under an editor;
+                # report it and keep watching
+                print(render_diagnostics(err.diagnostics), file=sys.stderr)
+                continue
+            report(result, seconds, edit=True)
+    except KeyboardInterrupt:
+        pass
+    payload = {
+        "ok": True,
+        "command": "watch",
+        "file": args.file,
+        "events": events,
+        "stats": session.stats.as_dict(),
+        "diagnostics": [],
+    }
+    _emit(args, payload, "")
+    return EXIT_OK
+
+
 def cmd_serve(args: argparse.Namespace, session: Session) -> int:
     # the daemon builds its own shared pool and per-tenant sessions; the
     # CLI-invocation session goes unused
@@ -504,6 +581,33 @@ def build_parser() -> argparse.ArgumentParser:
     pool(p_batch)
     common(p_batch, collect=False)
     p_batch.set_defaults(func=cmd_batch)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="re-infer a file incrementally every time it changes",
+        description="Watch FILE's mtime and re-run inference on each "
+        "change through the session's SCC-granular incremental path, "
+        "printing per-edit latency and how many method SCCs were spliced "
+        "vs re-inferred (see docs/incremental.md).",
+    )
+    p_watch.add_argument("file")
+    p_watch.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after N observed edits (0: exit right after the "
+        "initial inference; default: watch until interrupted)",
+    )
+    p_watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="mtime poll interval",
+    )
+    common(p_watch, collect=False)
+    p_watch.set_defaults(func=cmd_watch)
 
     p_serve = sub.add_parser(
         "serve",

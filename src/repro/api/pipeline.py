@@ -36,7 +36,15 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
 
 from ..checking import check_target
-from ..core import AnnotatedProgram, InferenceConfig, InferenceError, RegionInference
+from ..core import (
+    AnnotatedProgram,
+    InferenceConfig,
+    InferenceError,
+    InferenceResult,
+    RegionInference,
+    SccSplice,
+    reinfer_program,
+)
 from ..frontend.lexer import LexError
 from ..frontend.parser import ParseError, parse_program, parse_program_tolerant
 from ..runtime import DanglingAccessError, Interpreter, RuntimeError_
@@ -323,6 +331,39 @@ class Pipeline:
             lambda: RegionInference(
                 annotated.program, self.config, prepared=annotated
             ).infer(),
+            errors=(InferenceError, NormalTypeError),
+            cache_key=(self._key, config_key(self.config)),
+        )
+
+    def reinfer(
+        self,
+        prior: "InferenceResult",
+        *,
+        scc_lookup: Optional[Callable[[str], Optional["SccSplice"]]] = None,
+    ) -> StageResult:
+        """Incremental variant of :meth:`infer` against a prior result.
+
+        Parses this pipeline's source, then re-infers it through
+        :func:`repro.core.reinfer_program` — only the method SCCs dirtied
+        relative to ``prior`` re-run their fixed points; everything else
+        is spliced from the prior result (or from ``scc_lookup``, the
+        session's content-addressed SCC cache).  The stage memoises and
+        caches under the same ``infer`` key as :meth:`infer`, so an
+        unchanged resubmission is an ordinary file-level cache hit and
+        downstream stages (:meth:`verify`, :meth:`execute`) consume the
+        incremental result transparently.
+        """
+        if "infer" in self._results:
+            return self._results["infer"]
+        prev = self.parse()
+        if not prev.ok:
+            return self._skipped("infer", "infer", prev)
+        program = prev.value
+        return self._run_stage(
+            "infer",
+            lambda: reinfer_program(
+                program, prior, self.config, scc_lookup=scc_lookup
+            ),
             errors=(InferenceError, NormalTypeError),
             cache_key=(self._key, config_key(self.config)),
         )

@@ -213,6 +213,13 @@ class _ArtifactStore:
     evicted by the byte bound (the caller is holding it), so a single
     oversized artifact degrades to cache-of-one rather than thrashing.
     Both bounds may be set; either alone works.  Unbounded by default.
+
+    ``on_evict`` (an attribute, settable after construction) is called as
+    ``on_evict(kind, key)`` for every LRU-evicted entry, outside the
+    store lock.  The session uses it to couple the tiers: evicting a
+    document's file-level ``infer`` anchor also drops the document's
+    SCC-level entries, which would otherwise be stranded (unreachable —
+    the lineage that keyed them is gone — yet still holding bytes).
     """
 
     def __init__(
@@ -232,11 +239,26 @@ class _ArtifactStore:
         self._stats = stats
         self._max_entries = max_entries
         self._max_bytes = max_bytes
+        self.on_evict: Optional[Callable[[str, Hashable], None]] = None
 
-    def _evict_lru_locked(self) -> None:
+    def _evict_lru_locked(self) -> Tuple[str, Hashable]:
         (evicted_kind, evicted_key), _ = self._data.popitem(last=False)
         self._bytes -= self._costs.pop((evicted_kind, evicted_key), 0)
         self._stats.record_eviction(evicted_kind)
+        return evicted_kind, evicted_key
+
+    def _shrink_locked(self, evicted: List[Tuple[str, Hashable]]) -> None:
+        if self._max_entries is not None:
+            while len(self._data) > self._max_entries:
+                evicted.append(self._evict_lru_locked())
+        if self._max_bytes is not None:
+            while self._bytes > self._max_bytes and len(self._data) > 1:
+                evicted.append(self._evict_lru_locked())
+
+    def _notify_evictions(self, evicted: List[Tuple[str, Hashable]]) -> None:
+        if self.on_evict is not None:
+            for kind, key in evicted:
+                self.on_evict(kind, key)
 
     def get_or_build(
         self, kind: str, key: Hashable, builder: Callable[[], Any]
@@ -260,6 +282,7 @@ class _ArtifactStore:
         cost = (
             _approx_artifact_bytes(value) if self._max_bytes is not None else 0
         )
+        evicted: List[Tuple[str, Hashable]] = []
         with self._lock:
             winner = self._data.setdefault(full_key, value)
             if winner is value and full_key not in self._costs:
@@ -269,13 +292,72 @@ class _ArtifactStore:
                 self._bytes += cost
             self._data.move_to_end(full_key)
             self._stats.record(kind, hit=False)
-            if self._max_entries is not None:
-                while len(self._data) > self._max_entries:
-                    self._evict_lru_locked()
-            if self._max_bytes is not None:
-                while self._bytes > self._max_bytes and len(self._data) > 1:
-                    self._evict_lru_locked()
+            self._shrink_locked(evicted)
+        self._notify_evictions(evicted)
         return winner, False
+
+    def peek(self, kind: str, key: Hashable) -> Optional[Any]:
+        """The cached value, or ``None`` — no build, no hit/miss stats.
+
+        A present entry has its LRU recency refreshed (a peek is a real
+        use; the SCC tier answers incremental lookups through it).
+        Callers that want traffic accounted record their own kind —
+        ``peek`` serves several (``scc.lookup``, lineage anchors) and the
+        store cannot know which.
+        """
+        full_key = (kind, key)
+        with self._lock:
+            if full_key not in self._data:
+                return None
+            self._data.move_to_end(full_key)
+            return self._data[full_key]
+
+    def put(self, kind: str, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry without hit/miss accounting.
+
+        The SCC tier installs its splice entries through this: an insert
+        is not a cache *miss* (nothing was looked up and not found), so
+        routing it through :meth:`get_or_build` would overstate misses.
+        Eviction pressure and byte accounting behave exactly as for
+        built artifacts; re-putting an existing key refreshes recency
+        without re-charging its weight.
+        """
+        full_key = (kind, key)
+        with self._lock:
+            if full_key in self._data:
+                self._data.move_to_end(full_key)
+                return
+        cost = (
+            _approx_artifact_bytes(value) if self._max_bytes is not None else 0
+        )
+        evicted: List[Tuple[str, Hashable]] = []
+        with self._lock:
+            winner = self._data.setdefault(full_key, value)
+            if winner is value and full_key not in self._costs:
+                self._costs[full_key] = cost
+                self._bytes += cost
+            self._data.move_to_end(full_key)
+            self._shrink_locked(evicted)
+        self._notify_evictions(evicted)
+
+    def discard(
+        self, kind: str, key: Hashable, *, count_eviction: bool = False
+    ) -> bool:
+        """Drop one entry if present; returns whether it was there.
+
+        ``count_eviction=True`` records the drop in the per-kind eviction
+        counters — used by the tier coupling, where a cascaded discard is
+        an eviction in every sense the stats care about.
+        """
+        full_key = (kind, key)
+        with self._lock:
+            if full_key not in self._data:
+                return False
+            del self._data[full_key]
+            self._bytes -= self._costs.pop(full_key, 0)
+            if count_eviction:
+                self._stats.record_eviction(kind)
+            return True
 
     def contains(self, kind: str, key: Hashable) -> bool:
         """Membership test with no side effects (no stats, no LRU refresh).
@@ -302,6 +384,26 @@ class _ArtifactStore:
         """Approximate bytes held (0 unless a byte bound is configured)."""
         with self._lock:
             return self._bytes
+
+
+@dataclass
+class _DocumentLineage:
+    """Where a logical document's last accepted inference came from.
+
+    ``source_key`` anchors the prior :class:`~repro.core.InferenceResult`
+    in the file-level store (the result itself is *not* held here — it
+    stays evictable; a reinfer whose anchor was evicted simply falls back
+    to a full run).  ``token`` names the document's *annotation universe*:
+    SCC splice entries reference region uids minted by one full inference
+    run, so entries are only meaningful against priors that adopted the
+    same class annotations.  A full re-run (class structure change,
+    config change, evicted anchor) mints a new universe, orphaning —
+    and purging — the old token's entries.
+    """
+
+    source_key: str
+    token: int
+    scc_store_keys: set = field(default_factory=set)
 
 
 class Session:
@@ -378,6 +480,15 @@ class Session:
             pool.acquire() if pool is not None else None
         )
         self._pool_lock = threading.Lock()
+        # document lineages for incremental re-inference (Session.reinfer):
+        # (document, config key) -> _DocumentLineage, plus a reverse map
+        # from file-level anchor keys to the documents anchored on them so
+        # anchor eviction can cascade into the SCC tier
+        self._documents: Dict[Tuple[str, Hashable], _DocumentLineage] = {}
+        self._doc_anchors: Dict[Hashable, set] = {}
+        self._doc_lock = threading.RLock()
+        self._universe_seq = 0
+        self._store.on_evict = self._on_store_evict
 
     # -- the worker pool ---------------------------------------------------
     def process_pool(self) -> WorkerPool:
@@ -478,6 +589,183 @@ class Session:
     ) -> InferenceResult:
         """Infer ``source`` (cached); raises ``StageFailure`` on error."""
         return self.pipeline(source, config).infer().unwrap()
+
+    # -- incremental re-inference ------------------------------------------
+    def reinfer(
+        self,
+        source: str,
+        config: Optional[InferenceConfig] = None,
+        *,
+        document: str = "default",
+    ) -> InferenceResult:
+        """Infer ``source`` incrementally against this document's last result.
+
+        ``document`` names a *logical document* — an editor buffer, a
+        tenant's file — whose successive versions this session tracks.
+        The first submission (or one whose prior was evicted) runs a full
+        inference; later submissions diff the new source's dependency
+        graph against the prior result and re-run fixed points only for
+        the dirty method SCCs (:func:`repro.core.reinfer_program`).  The
+        output is byte-identical to a from-scratch inference.
+
+        Beside the file-level artifact store, the session keeps a
+        second-level **SCC cache**: each inference's per-SCC splices are
+        stored under their content-addressed fingerprints (plus the
+        document's annotation-universe token and config), so an SCC
+        dirtied relative to the *latest* prior can still be served from
+        an *earlier* version — reverting an edit re-infers nothing.
+        Observable via ``scc.*`` stats kinds: ``scc.document`` (hit =
+        incremental path taken), ``scc.reuse`` (per-SCC spliced vs
+        re-inferred), ``scc.lookup`` (second-level probe outcomes).
+        """
+        cfg = config or self.config
+        ck = config_key(cfg)
+        doc_key = (document, ck)
+        skey = _source_key(source)
+        with self._doc_lock:
+            lineage = self._documents.get(doc_key)
+            prior_skey = lineage.source_key if lineage is not None else None
+            token = lineage.token if lineage is not None else None
+        prior: Optional[InferenceResult] = (
+            self._store.peek("infer", (prior_skey, ck))
+            if prior_skey is not None
+            else None
+        )
+        if prior is None:
+            # first submission for this document, or its anchor was
+            # evicted: full (file-level cached) inference
+            result = self.infer(source, cfg)
+            self.stats.record("scc.document", hit=False)
+            self._adopt_lineage(doc_key, skey, result, prior=None)
+            return result
+        if prior_skey == skey:
+            # unchanged resubmission: the prior answers outright
+            self.stats.record("scc.document", hit=True)
+            if prior.scc_keys:
+                self.stats.merge({"hits": {"scc.reuse": len(prior.scc_keys)}})
+            return prior
+
+        def lookup(fingerprint: str):
+            entry = self._store.peek(
+                "scc", (document, token, fingerprint, ck)
+            )
+            self.stats.record("scc.lookup", hit=entry is not None)
+            return entry
+
+        pipe = self.pipeline(source, cfg)
+        stage = pipe.reinfer(prior, scc_lookup=lookup)
+        result = stage.unwrap()
+        incremental = result.annotations is prior.annotations
+        self.stats.record("scc.document", hit=incremental)
+        if stage.cached:
+            # this exact source was inferred before (e.g. toggling
+            # between two versions): everything is reused
+            if result.scc_keys:
+                self.stats.merge({"hits": {"scc.reuse": len(result.scc_keys)}})
+        else:
+            delta: Dict[str, Dict[str, int]] = {}
+            if result.reused_sccs:
+                delta["hits"] = {"scc.reuse": result.reused_sccs}
+            if result.reinferred_sccs:
+                delta["misses"] = {"scc.reuse": result.reinferred_sccs}
+            if delta:
+                self.stats.merge(delta)
+        self._adopt_lineage(doc_key, skey, result, prior=prior)
+        return result
+
+    def _next_universe(self) -> int:
+        with self._doc_lock:
+            self._universe_seq += 1
+            return self._universe_seq
+
+    def _adopt_lineage(
+        self,
+        doc_key: Tuple[str, Hashable],
+        skey: str,
+        result: InferenceResult,
+        prior: Optional[InferenceResult],
+    ) -> None:
+        """Install ``result`` as a document's lineage + its SCC entries.
+
+        Same annotation universe as the prior (incremental result, or a
+        cached artifact from the same lineage): the token and existing
+        SCC entries carry over.  New universe (first submission, full
+        fallback, foreign cached artifact): mint a fresh token and purge
+        the old token's now-unreachable entries.
+        """
+        document, ck = doc_key
+        stale: set = set()
+        with self._doc_lock:
+            lineage = self._documents.get(doc_key)
+            same_universe = (
+                lineage is not None
+                and prior is not None
+                and result.annotations is prior.annotations
+            )
+            if same_universe:
+                token = lineage.token
+                keys = lineage.scc_store_keys
+            else:
+                token = self._next_universe()
+                keys = set()
+                if lineage is not None:
+                    stale = set(lineage.scc_store_keys)
+            new_lineage = _DocumentLineage(
+                source_key=skey, token=token, scc_store_keys=keys
+            )
+            self._documents[doc_key] = new_lineage
+            if lineage is not None:
+                old_anchor = (lineage.source_key, ck)
+                anchored = self._doc_anchors.get(old_anchor)
+                if anchored is not None:
+                    anchored.discard(doc_key)
+                    if not anchored:
+                        del self._doc_anchors[old_anchor]
+            self._doc_anchors.setdefault((skey, ck), set()).add(doc_key)
+            to_install = [
+                (methods, fp)
+                for methods, fp in result.scc_keys.items()
+                if (document, token, fp, ck) not in keys
+            ]
+        # store mutations happen outside _doc_lock: put() may cascade into
+        # _on_store_evict, which takes it
+        for key in stale:
+            self._store.discard("scc", key, count_eviction=True)
+        installed = []
+        for methods, fp in to_install:
+            splice = result.scc_splice(methods)
+            if splice is None:
+                continue
+            entry_key = (document, token, fp, ck)
+            self._store.put("scc", entry_key, splice)
+            installed.append(entry_key)
+        if installed:
+            with self._doc_lock:
+                current = self._documents.get(doc_key)
+                if current is new_lineage:
+                    current.scc_store_keys.update(installed)
+
+    def _on_store_evict(self, kind: str, key: Hashable) -> None:
+        """Tier coupling: a document's evicted anchor drops its SCC entries.
+
+        Without this, evicting a file-level ``infer`` artifact that some
+        document lineage anchors on would strand that document's SCC
+        entries — unreachable (the next ``reinfer`` falls back to a full
+        run under a fresh universe token) but still charged to the cache.
+        """
+        if kind != "infer":
+            return
+        stale: set = set()
+        with self._doc_lock:
+            doc_keys = self._doc_anchors.pop(key, None)
+            if not doc_keys:
+                return
+            for doc_key in doc_keys:
+                lineage = self._documents.pop(doc_key, None)
+                if lineage is not None:
+                    stale.update(lineage.scc_store_keys)
+        for entry_key in stale:
+            self._store.discard("scc", entry_key, count_eviction=True)
 
     def check(
         self, source: str, config: Optional[InferenceConfig] = None
@@ -808,8 +1096,18 @@ class Session:
 
     # -- maintenance -------------------------------------------------------
     def clear_cache(self) -> None:
-        """Drop every cached artifact (counters are preserved)."""
+        """Drop every cached artifact, both tiers (counters are preserved).
+
+        The SCC-level splice entries live in the same store as the
+        file-level artifacts, so one clear covers both; the document
+        lineages that keyed the SCC tier are reset with it (their anchors
+        and universes are gone), so the next ``reinfer`` of any document
+        starts a fresh lineage with a full run.
+        """
         self._store.clear()
+        with self._doc_lock:
+            self._documents.clear()
+            self._doc_anchors.clear()
 
     @property
     def cache_size(self) -> int:
@@ -817,5 +1115,9 @@ class Session:
 
     @property
     def cache_bytes(self) -> int:
-        """Approximate bytes cached (0 unless ``max_cache_bytes`` is set)."""
+        """Approximate bytes cached (0 unless ``max_cache_bytes`` is set).
+
+        Covers both tiers: file-level stage artifacts and the SCC-level
+        splice entries share one byte-weighted store.
+        """
         return self._store.bytes_used

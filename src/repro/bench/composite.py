@@ -1,0 +1,48 @@
+"""A large multi-benchmark program for incremental re-inference work.
+
+No single Olden port is big enough to show SCC-granular caching off (the
+largest has 10 methods), so this module concatenates four ports with
+disjoint class and method namespaces into one 35-method program.  The
+watch-mode smoke test, the differential edit suite and
+``benchmarks/test_incremental_reinfer.py`` all edit *one* method of this
+program and measure how much of the rest is spliced from the prior run.
+
+Edit helpers return complete new source texts (never mutated ASTs), the
+same thing an editor buffer would hand to ``Session.reinfer``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .olden import OLDEN_PROGRAMS
+
+__all__ = [
+    "COMPOSITE_MEMBERS",
+    "composite_source",
+    "rename_local",
+    "tweak_method_body",
+]
+
+#: the member benchmarks, chosen so no class or method names collide
+COMPOSITE_MEMBERS: Tuple[str, ...] = ("bisort", "em3d", "health", "mst")
+
+
+def composite_source() -> str:
+    """The concatenated source of the member benchmarks (35 methods)."""
+    return "\n".join(OLDEN_PROGRAMS[name].source for name in COMPOSITE_MEMBERS)
+
+
+def rename_local(source: str, old: str, new: str) -> str:
+    """Rename a local variable throughout ``source`` (word-boundary safe)."""
+    import re
+
+    return re.sub(rf"\b{re.escape(old)}\b", new, source)
+
+
+def tweak_method_body(source: str, marker: str, replacement: str) -> str:
+    """Replace the first occurrence of ``marker`` (an expression snippet
+    unique to one method body) with ``replacement``."""
+    if marker not in source:
+        raise ValueError(f"marker {marker!r} not found in source")
+    return source.replace(marker, replacement, 1)

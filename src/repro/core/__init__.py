@@ -9,15 +9,19 @@
 * :mod:`repro.core.downcast` -- downcast safety analysis (Sec 5).
 """
 
-from .depgraph import DependencyGraph
+from .depgraph import DependencyGraph, DirtySet, diff
 from .downcast import DowncastAnalysis, DowncastStrategy, PaddingPlan, analyse_downcasts
 from .infer import (
     AnnotatedProgram,
     InferenceConfig,
     InferenceResult,
     RegionInference,
+    SccSplice,
     infer_program,
     infer_source,
+    plan_salts,
+    reinfer_program,
+    scc_splice_keys,
 )
 from .override import OverrideConflict, OverrideResolver, check_override
 from .schemes import ClassAnnotation, ClassAnnotator, InferenceError, MethodScheme
@@ -25,6 +29,8 @@ from .subtyping import SubtypingMode, subtype
 
 __all__ = [
     "DependencyGraph",
+    "DirtySet",
+    "diff",
     "DowncastAnalysis",
     "DowncastStrategy",
     "PaddingPlan",
@@ -33,8 +39,12 @@ __all__ = [
     "InferenceConfig",
     "InferenceResult",
     "RegionInference",
+    "SccSplice",
     "infer_program",
     "infer_source",
+    "plan_salts",
+    "reinfer_program",
+    "scc_splice_keys",
     "OverrideConflict",
     "OverrideResolver",
     "check_override",

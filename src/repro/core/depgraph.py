@@ -19,17 +19,119 @@ Method SCCs are mutually recursive nests solved together; ``classinv``
 nodes are ordering markers only.  A method never takes a ``classinv`` edge
 on its own class or superclasses (that would make every class trivially
 cyclic with its methods).
+
+For incremental re-inference the graph also carries **structural
+fingerprints**: a per-method AST hash independent of formatting,
+positions and parse-order artifacts (``New`` labels), combined
+per-SCC with the fingerprints of everything the SCC depends on --
+callees, override partners and the class structures whose invariants it
+expands.  Two programs agreeing on an SCC's *transitive* fingerprint
+are guaranteed to present identical inference inputs for that SCC, so
+:func:`diff` can mark exactly the SCCs whose fingerprint changed as
+dirty and :meth:`repro.core.infer.RegionInference.reinfer` splices the
+rest from a prior result.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+import hashlib
+from dataclasses import dataclass, fields as dc_fields, is_dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..lang import ast as S
 from ..lang.class_table import OBJECT_NAME, ClassTable
 
-__all__ = ["Node", "method_node", "classinv_node", "DependencyGraph"]
+__all__ = [
+    "Node",
+    "method_node",
+    "classinv_node",
+    "DependencyGraph",
+    "DirtySet",
+    "diff",
+    "method_fingerprint",
+    "class_fingerprint",
+]
+
+
+# ---------------------------------------------------------------------------
+# Structural fingerprints
+# ---------------------------------------------------------------------------
+
+#: dataclass fields that are parse artifacts, not program structure:
+#: source positions, and the global ``New`` allocation-site counter
+#: (two parses of the same text disagree on it).
+_SKIP_FIELDS = frozenset({"pos", "label"})
+
+
+def _feed(h, obj) -> None:
+    """Feed a canonical byte encoding of an AST value into hash ``h``."""
+    if obj is None:
+        h.update(b"\x00N")
+    elif isinstance(obj, bool):
+        h.update(b"\x00T" if obj else b"\x00F")
+    elif isinstance(obj, str):
+        h.update(b"\x00s")
+        h.update(obj.encode("utf-8"))
+    elif isinstance(obj, int):
+        h.update(b"\x00i")
+        h.update(str(obj).encode("ascii"))
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"\x00[")
+        for x in obj:
+            _feed(h, x)
+        h.update(b"\x00]")
+    elif is_dataclass(obj):
+        h.update(b"\x00<")
+        h.update(type(obj).__name__.encode("ascii"))
+        for f in dc_fields(obj):
+            if f.name in _SKIP_FIELDS:
+                continue
+            h.update(b"\x00.")
+            h.update(f.name.encode("ascii"))
+            _feed(h, getattr(obj, f.name))
+        h.update(b"\x00>")
+    else:  # pragma: no cover - defensive (no other value kinds in the AST)
+        h.update(b"\x00?")
+        h.update(repr(obj).encode("utf-8"))
+
+
+def method_fingerprint(decl: S.MethodDecl) -> str:
+    """Structural hash of a method declaration (signature + body).
+
+    Independent of source formatting, positions and ``New`` labels; two
+    textually different but structurally identical declarations agree.
+    """
+    h = hashlib.sha256()
+    _feed(h, decl)
+    return h.hexdigest()
+
+
+def class_fingerprint(decl: S.ClassDecl) -> str:
+    """Structural hash of a class's *shape*: name, superclass, fields.
+
+    Method bodies are excluded -- they are fingerprinted per method.
+    This is the identity of the class annotation (region arity, field
+    types, recursive region), so any change here invalidates the whole
+    annotation universe (:func:`diff` then reports ``full=True``).
+    """
+    h = hashlib.sha256()
+    h.update(b"\x00C")
+    h.update(decl.name.encode("utf-8"))
+    h.update(b"\x00<")
+    h.update(decl.super_name.encode("utf-8"))
+    for f in decl.fields:
+        _feed(h, f)
+    return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -122,6 +224,14 @@ class DependencyGraph:
                 callee = self._resolve_call(e, method, env)
                 if callee is not None:
                     self._add_edge(me, method_node(callee))
+                else:
+                    # resolution failed: conservatively depend on every
+                    # method of this name, so incremental dirtying can
+                    # never miss a real dependency
+                    for qn in self._same_name_methods(
+                        e.method_name, static=e.receiver is None
+                    ):
+                        self._add_edge(me, method_node(qn))
             elif isinstance(e, S.Block):
                 inner = dict(env)
                 for s in e.stmts:
@@ -182,9 +292,25 @@ class DependencyGraph:
             t = self._static_type_of(e.then, method, env)
             return t if t is not None else self._static_type_of(e.els, method, env)
         if isinstance(e, S.Block) and e.result is not None:
-            # approximate: ignore local decls (sound for dependency edges)
-            return self._static_type_of(e.result, method, env)
+            inner = dict(env)
+            for s in e.stmts:
+                if isinstance(s, S.LocalDecl):
+                    if isinstance(s.decl_type, S.ClassType):
+                        inner[s.name] = s.decl_type.name
+                    else:
+                        inner.pop(s.name, None)  # shadowed by a primitive
+            return self._static_type_of(e.result, method, inner)
         return None
+
+    def _same_name_methods(self, mn: str, *, static: bool) -> List[str]:
+        """Every known method named ``mn`` (the unresolved-call fallback)."""
+        out = []
+        for qualified, decl in self._methods.items():
+            if decl.name != mn:
+                continue
+            if static == (decl.owner is None):
+                out.append(qualified)
+        return sorted(out)
 
     def _resolve_call(
         self, e: S.Call, method: S.MethodDecl, env: Dict[str, str]
@@ -260,3 +386,177 @@ class DependencyGraph:
             if methods:
                 groups.append(sorted(methods))
         return groups
+
+    # -- fingerprints ------------------------------------------------------------
+    def _local_fingerprint(
+        self, node: Node, salts: Optional[Mapping[str, str]]
+    ) -> str:
+        """Structural hash of one node in isolation (no dependencies)."""
+        if node.kind == "method":
+            fp = method_fingerprint(self._methods[node.name])
+            salt = salts.get(node.name) if salts else None
+            if salt:
+                h = hashlib.sha256()
+                h.update(fp.encode("ascii"))
+                h.update(b"\x00+")
+                h.update(salt.encode("utf-8"))
+                fp = h.hexdigest()
+            return fp
+        return class_fingerprint(self.table.decl(node.name))
+
+    def node_fingerprints(
+        self, salts: Optional[Mapping[str, str]] = None
+    ) -> Dict[Node, str]:
+        """Transitive structural fingerprint of every node.
+
+        A node's fingerprint covers its own structure *and* (recursively)
+        the structure of everything it depends on: callees, override
+        partners, class shapes whose invariants it expands.  ``salts``
+        optionally mixes an extra per-method string into that method's
+        local hash -- used by the inference layer to fold in facts the
+        AST alone does not determine (e.g. downcast padding plans).
+
+        Agreement on this fingerprint between two programs guarantees
+        the node sees identical inference inputs, which is the soundness
+        condition for splicing its prior result.
+        """
+        sccs = self.sccs()
+        scc_of: Dict[Node, int] = {}
+        for i, scc in enumerate(sccs):
+            for n in scc:
+                scc_of[n] = i
+        scc_fp: List[str] = []
+        out: Dict[Node, str] = {}
+        for i, scc in enumerate(sccs):  # dependencies-first
+            deps: Set[int] = set()
+            for n in scc:
+                for m in self.edges[n]:
+                    j = scc_of[m]
+                    if j != i:
+                        deps.add(j)
+            h = hashlib.sha256()
+            h.update(b"\x00S")
+            for fp in sorted(self._local_fingerprint(n, salts) for n in scc):
+                h.update(fp.encode("ascii"))
+                h.update(b"\x00,")
+            h.update(b"\x00D")
+            for fp in sorted(scc_fp[j] for j in deps):
+                h.update(fp.encode("ascii"))
+                h.update(b"\x00,")
+            digest = h.hexdigest()
+            scc_fp.append(digest)
+            for n in scc:
+                out[n] = digest
+        return out
+
+    def scc_fingerprints(
+        self, salts: Optional[Mapping[str, str]] = None
+    ) -> List[Tuple[Tuple[str, ...], str]]:
+        """``(sorted method names, transitive fingerprint)`` per method SCC,
+        in processing (dependencies-first) order."""
+        node_fps = self.node_fingerprints(salts)
+        groups: List[Tuple[Tuple[str, ...], str]] = []
+        for scc in self.sccs():
+            methods = sorted(n.name for n in scc if n.kind == "method")
+            if methods:
+                groups.append((tuple(methods), node_fps[scc[0]]))
+        return groups
+
+    def class_fingerprints(self) -> Dict[str, str]:
+        """Local (shape-only) fingerprint per declared class."""
+        return {
+            cn: class_fingerprint(self.table.decl(cn))
+            for cn in self.table.class_names()
+        }
+
+
+# ---------------------------------------------------------------------------
+# Dirty sets
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DirtySet:
+    """Which parts of a program must be re-inferred after an edit.
+
+    ``full`` forces a from-scratch run (class shapes changed, so every
+    region annotation may differ).  Otherwise ``methods`` lists every
+    qualified method name belonging to an SCC whose transitive
+    fingerprint changed; ``added``/``removed`` break out the methods
+    that appear only on one side (both are subsets of the overall
+    change -- removed methods are only relevant to the caller-side
+    ripple, which the transitive fingerprints already capture).
+    """
+
+    full: bool = False
+    reason: str = ""
+    methods: FrozenSet[str] = frozenset()
+    added: FrozenSet[str] = frozenset()
+    removed: FrozenSet[str] = frozenset()
+
+    def is_dirty(self, qualified: str) -> bool:
+        return self.full or qualified in self.methods
+
+    @property
+    def clean(self) -> bool:
+        return not self.full and not self.methods and not self.removed
+
+
+def diff(
+    old: DependencyGraph,
+    new: DependencyGraph,
+    *,
+    old_salts: Optional[Mapping[str, str]] = None,
+    new_salts: Optional[Mapping[str, str]] = None,
+) -> DirtySet:
+    """Compare two dependency graphs and mark the dirty method SCCs.
+
+    Because the per-SCC fingerprints are transitive, a change anywhere
+    below an SCC (edited callee body, changed override partner, a callee
+    that disappeared and re-resolved elsewhere) changes the SCC's own
+    fingerprint -- so "fingerprint not seen in the old graph" is exactly
+    the reverse-reachable dirty set the incremental engine needs.
+
+    One dependency is deliberately absent from the graph (a method never
+    takes a ``classinv`` edge on its own class, which would make every
+    class cyclic with its methods) yet real for re-inference: a method's
+    hypotheses expand its *owner's* invariant, which override resolution
+    may strengthen.  ``diff`` closes that gap here by dirtying every
+    method whose owner's ``classinv`` transitive fingerprint changed.
+    """
+    if list(old.class_fingerprints().items()) != list(
+        new.class_fingerprints().items()
+    ):
+        return DirtySet(full=True, reason="class structure changed")
+
+    old_fps = old.node_fingerprints(old_salts)
+    new_fps = new.node_fingerprints(new_salts)
+    old_method_fps = {fp for n, fp in old_fps.items() if n.kind == "method"}
+    old_methods = set(old._methods)
+    new_methods = set(new._methods)
+
+    dirty: Set[str] = set()
+    for n, fp in new_fps.items():
+        if n.kind == "method" and fp not in old_method_fps:
+            dirty.add(n.name)
+    changed_invs = {
+        n.name
+        for n, fp in new_fps.items()
+        if n.kind == "classinv" and fp != old_fps.get(n)
+    }
+    if changed_invs:
+        for qn, decl in new._methods.items():
+            if decl.owner is not None and decl.owner in changed_invs:
+                dirty.add(qn)
+    # a dirty method dirties its whole SCC (the nest is one fixed point)
+    if dirty:
+        for names in new.method_sccs():
+            if any(qn in dirty for qn in names):
+                dirty.update(names)
+    return DirtySet(
+        full=False,
+        reason="method edits" if dirty else "",
+        methods=frozenset(dirty),
+        added=frozenset(new_methods - old_methods),
+        removed=frozenset(old_methods - new_methods),
+    )

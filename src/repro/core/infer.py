@@ -28,9 +28,10 @@ exercised in the test suite.
 
 from __future__ import annotations
 
+import hashlib
 import time
-from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field as dc_field, replace as dc_replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..frontend.parser import parse_program
 from ..lang import ast as S
@@ -56,7 +57,12 @@ from ..regions.fixpoint import solve_recursive_abstractions
 from ..regions.solver import RegionSolver
 from ..regions.substitution import RegionSubst
 from ..typing.normal import NormalTypeChecker
-from .depgraph import DependencyGraph
+from .depgraph import (
+    DependencyGraph,
+    DirtySet,
+    classinv_node,
+    diff as depgraph_diff,
+)
 from .downcast import DowncastAnalysis, DowncastStrategy, PaddingPlan
 from .override import OverrideResolver
 from .schemes import (
@@ -74,6 +80,10 @@ __all__ = [
     "RegionInference",
     "infer_program",
     "infer_source",
+    "SccSplice",
+    "plan_salts",
+    "reinfer_program",
+    "scc_splice_keys",
 ]
 
 
@@ -181,10 +191,72 @@ class InferenceResult:
     localized_regions: Dict[str, int] = dc_field(default_factory=dict)
     #: fixed-point iteration counts per method-SCC (keyed by sorted names)
     fixpoint_iterations: Dict[Tuple[str, ...], int] = dc_field(default_factory=dict)
+    #: pre abstractions as at end of SCC processing, *before* minimisation.
+    #: Incremental re-inference splices these back in so later (dirty)
+    #: callers expand exactly what a from-scratch run would have seen.
+    raw_pres: Dict[str, ConstraintAbstraction] = dc_field(default_factory=dict)
+    #: the abstraction environment at run start (class invariants only,
+    #: before any override-resolution strengthening) -- the seed for replay
+    pristine_q: Dict[str, ConstraintAbstraction] = dc_field(default_factory=dict)
+    #: per-method signature of the downcast padding plan (plan facts are
+    #: whole-program flow results the method AST alone cannot witness)
+    plan_salts: Dict[str, str] = dc_field(default_factory=dict)
+    #: incremental accounting: SCCs spliced from the prior result vs
+    #: re-run (a from-scratch run reports 0 / total)
+    reused_sccs: int = 0
+    reinferred_sccs: int = 0
+    #: qualified names whose results were spliced rather than re-inferred
+    reused_methods: Tuple[str, ...] = ()
+    #: splice-cache key per method SCC (see :func:`scc_splice_keys`) --
+    #: what a second-level session cache indexes :class:`SccSplice`
+    #: entries by
+    scc_keys: Dict[Tuple[str, ...], str] = dc_field(default_factory=dict)
 
     @property
     def total_localized(self) -> int:
         return sum(self.localized_regions.values())
+
+    def scc_splice(self, methods: Tuple[str, ...]) -> Optional["SccSplice"]:
+        """Extract one SCC's splice-able slice of this result.
+
+        Returns ``None`` when the result lacks replay state for any
+        member (pre-incremental results, or methods that failed to
+        produce a target body).  The returned entry aliases this
+        result's schemes and target bodies; both are immutable after
+        assembly, so sharing is safe.
+        """
+        tms: Dict[str, T.TMethodDecl] = {}
+        for c in self.target.classes:
+            for m in c.methods:
+                tms[f"{c.name}.{m.name}"] = m
+        for m in self.target.statics:
+            tms[m.name] = m
+        schemes: Dict[str, MethodScheme] = {}
+        raw: Dict[str, ConstraintAbstraction] = {}
+        mins: Dict[str, ConstraintAbstraction] = {}
+        tmethods: Dict[str, T.TMethodDecl] = {}
+        localized: Dict[str, int] = {}
+        for qn in methods:
+            scheme = self.schemes.get(qn)
+            if scheme is None or qn not in self.raw_pres or qn not in tms:
+                return None
+            schemes[qn] = scheme
+            raw[qn] = self.raw_pres[qn]
+            if scheme.pre in self.target.q:
+                mins[qn] = self.target.q[scheme.pre]
+            tmethods[qn] = tms[qn]
+            localized[qn] = self.localized_regions.get(qn, 0)
+        return SccSplice(
+            methods=tuple(methods),
+            schemes=schemes,
+            raw_pres=raw,
+            min_pres=mins,
+            tmethods=tmethods,
+            localized=localized,
+            fixpoint_iterations=self.fixpoint_iterations.get(
+                tuple(sorted(methods)), 0
+            ),
+        )
 
     def fingerprint(self) -> Dict[str, Tuple[int, int]]:
         """A structural identity, stable across runs and processes.
@@ -203,6 +275,108 @@ class InferenceResult:
             for qualified, scheme in self.schemes.items()
             if qualified in self.localized_regions
         }
+
+
+def plan_salts(program: S.Program, plan: PaddingPlan) -> Dict[str, str]:
+    """Per-method signatures of the downcast padding plan.
+
+    The plan is a whole-program flow result: an edit in one method can
+    change the padding of another whose AST is untouched.  These strings
+    are mixed into the per-method structural fingerprints (the ``salts``
+    of :meth:`repro.core.depgraph.DependencyGraph.node_fingerprints`) so
+    plan changes dirty exactly the methods they affect.  ``new``-site
+    plan entries are keyed by parse-order labels, which differ between
+    parses; the salt replaces them with the site's structural position
+    (pre-order index within the method body).
+    """
+    if not plan.downcast_sets:
+        return {}
+    by_method: Dict[str, List[str]] = {}
+    for key, dset in plan.downcast_sets.items():
+        kind, a, b = key
+        if kind in ("var", "ret"):
+            by_method.setdefault(a, []).append(
+                f"{kind}:{b}:{','.join(sorted(dset))}"
+            )
+    salts: Dict[str, str] = {}
+    for m in program.all_methods():
+        parts = sorted(by_method.get(m.qualified_name, []))
+        labels: List[str] = []
+
+        def collect(e: S.Expr) -> None:
+            if isinstance(e, S.New):
+                labels.append(e.label)
+            for child in e.children():
+                collect(child)
+
+        collect(m.body)
+        for i, label in enumerate(labels):
+            dset = plan.downcast_sets.get(("new", label, ""))
+            if dset:
+                parts.append(f"new:{i}:{','.join(sorted(dset))}")
+        if parts:
+            salts[m.qualified_name] = ";".join(parts)
+    return salts
+
+
+@dataclass
+class SccSplice:
+    """One method SCC's splice-able inference output.
+
+    This is the value of the second-level (SCC-granular) session cache:
+    everything incremental re-inference needs to adopt an SCC's prior
+    result without re-running its fixed point.  Entries are only valid
+    within the *annotation universe* that produced them -- the class
+    annotations whose region uids the schemes reference -- so caches key
+    them by (universe token, splice key, config).
+    """
+
+    #: the SCC's qualified method names, sorted
+    methods: Tuple[str, ...]
+    schemes: Dict[str, MethodScheme]
+    #: pre abstractions before minimisation (the replay splice)
+    raw_pres: Dict[str, ConstraintAbstraction]
+    #: pre abstractions after minimisation (restored for clean methods)
+    min_pres: Dict[str, ConstraintAbstraction]
+    tmethods: Dict[str, T.TMethodDecl]
+    localized: Dict[str, int]
+    fixpoint_iterations: int = 0
+
+
+def scc_splice_keys(
+    graph: DependencyGraph, salts: Optional[Dict[str, str]] = None
+) -> Dict[Tuple[str, ...], str]:
+    """Content-addressed cache keys per method SCC.
+
+    The key hashes the SCC's transitive fingerprint together with the
+    transitive fingerprints of the members' *owner* class-invariant
+    nodes.  The owner invariants matter because a method's hypotheses
+    expand its own class's invariant, which override resolution may
+    strengthen -- yet methods deliberately take no dependency edge on
+    their own class (it would be cyclic).  Two SCCs with equal keys are
+    therefore guaranteed equal inference inputs, which (inference being
+    deterministic) guarantees equal outputs.
+    """
+    node_fps = graph.node_fingerprints(salts)
+    out: Dict[Tuple[str, ...], str] = {}
+    for scc in graph.sccs():
+        methods = tuple(sorted(n.name for n in scc if n.kind == "method"))
+        if not methods:
+            continue
+        h = hashlib.sha256()
+        h.update(node_fps[scc[0]].encode("ascii"))
+        owners = sorted(
+            {
+                node_fps[classinv_node(graph._methods[qn].owner)]
+                for qn in methods
+                if graph._methods[qn].owner is not None
+            }
+        )
+        for fp in owners:
+            h.update(b"\x00O")
+            h.update(fp.encode("ascii"))
+        out[methods] = h.hexdigest()
+    return out
 
 
 class _Ctx:
@@ -311,10 +485,19 @@ class RegionInference:
             schemes=self.schemes,
             config=self.config,
         )
+        # snapshot the replay seed for incremental re-inference: the
+        # environment holds exactly the class invariants at this point
+        result.pristine_q = {a.name: a for a in self.q}
+        result.plan_salts = plan_salts(self.program, self.plan)
         graph = DependencyGraph(self.program, self.table)
+        result.scc_keys = scc_splice_keys(graph, result.plan_salts)
         for scc in graph.method_sccs():
             self._process_scc(scc, result)
             self._resolve_ready()
+            result.reinferred_sccs += 1
+        result.raw_pres = {
+            qn: self.q[s.pre] for qn, s in self.schemes.items() if s.pre in self.q
+        }
         if self.config.minimize_pre:
             for qn in self.schemes:
                 self._minimize_pre(qn)
@@ -585,30 +768,34 @@ class RegionInference:
         hyp = self._hypotheses(scheme)
         kept = [a for a in abstraction.body.sorted_atoms()]
         # the hypotheses are shared by every drop test: solve them once and
-        # warm the reachability cache, then grow each pass's base solver by
-        # re-adding the atoms decided *kept* one at a time (incremental
-        # delta updates on the inherited cache).  Each candidate's trial is
-        # a copy of that base plus the still-undecided suffix, instead of a
-        # from-scratch solve of the whole atom set per candidate.
-        hyp_solver = RegionSolver(hyp).warm()  # copies inherit live bitsets
+        # warm the reachability cache.  Each candidate's trial then *adds*
+        # the still-undecided suffix under a checkpoint and retracts it
+        # again (delta updates on the live cache in both directions),
+        # instead of copying the solver per candidate; atoms decided
+        # *kept* accumulate under the per-pass checkpoint so later trials
+        # inherit them, and the pass rollback restores the pure-hypothesis
+        # solver for the next pass.
+        hyp_solver = RegionSolver(hyp).warm()
         changed = True
         while changed:
             changed = False
-            base = hyp_solver.copy()
             decided: List[Atom] = []
-            for i, a in enumerate(kept):
-                if isinstance(a, PredAtom):
-                    decided.append(a)
-                    continue
-                trial = base.copy()
-                for b in kept[i + 1 :]:
-                    if not isinstance(b, PredAtom):
-                        trial.add_atom(b)
-                if trial.entails_atom(a):
-                    changed = True  # dropped: recoverable from the rest
-                else:
-                    decided.append(a)
-                    base.add_atom(a)
+            with hyp_solver.checkpoint():
+                for i, a in enumerate(kept):
+                    if isinstance(a, PredAtom):
+                        decided.append(a)
+                        continue
+                    trial = hyp_solver.checkpoint()
+                    for b in kept[i + 1 :]:
+                        if not isinstance(b, PredAtom):
+                            hyp_solver.add_atom(b)
+                    dropped = hyp_solver.entails_atom(a)
+                    trial.rollback()
+                    if dropped:
+                        changed = True  # recoverable from the rest
+                    else:
+                        decided.append(a)
+                        hyp_solver.add_atom(a)
             kept = decided
         self.q.define(
             ConstraintAbstraction(
@@ -1055,6 +1242,231 @@ class RegionInference:
         for m in self.program.statics:
             if m.qualified_name in self._tmethods:
                 target.statics.append(self._tmethods[m.qualified_name])
+
+
+class _IncrementalInference(RegionInference):
+    """Re-infers only the dirty SCCs, splicing the rest from a prior run.
+
+    Construction invariants (enforced by :func:`reinfer_program`): the
+    configs match, the class structure is unchanged (so the prior class
+    annotations are adopted wholesale -- re-annotating would mint new
+    region uids and orphan the spliced schemes), and ``dirty`` came from
+    :func:`repro.core.depgraph.diff` over transitive fingerprints.
+
+    Replay discipline for byte-identity with a from-scratch run:
+
+    * the abstraction environment is seeded from the prior *pristine*
+      snapshot (class invariants before any override strengthening);
+    * SCCs are visited in the new graph's dependency order; clean SCCs
+      define their prior **raw** (pre-minimisation) pre abstractions,
+      dirty SCCs run the normal fixed point;
+    * override resolution is replayed after every SCC exactly as the
+      driver does -- resolution is idempotent on atom sets, so replay
+      over spliced pres re-derives the prior strengthenings and computes
+      fresh ones where dirty methods participate;
+    * minimisation runs only for dirty methods; clean methods restore
+      the prior minimised pre (same raw pre + same final hypotheses
+      guarantee the same minimisation).
+
+    Prior results are only splice-able in the process that minted their
+    region uids (or across processes minting in disjoint namespaces, see
+    :class:`InferenceResult`).
+    """
+
+    def __init__(
+        self,
+        program: S.Program,
+        config: InferenceConfig,
+        prior: InferenceResult,
+        table: ClassTable,
+        graph: DependencyGraph,
+        plan: PaddingPlan,
+        salts: Dict[str, str],
+        dirty: DirtySet,
+        scc_lookup: Optional[Callable[[str], Optional["SccSplice"]]] = None,
+    ):
+        self.program = program
+        self.config = config
+        self.q = AbstractionEnv(prior.pristine_q.values())
+        self.table = table
+        self.annotations = prior.annotations
+        self.annotator = ClassAnnotator.adopt(table, self.q, prior.annotations)
+        self.plan = plan
+        self._prior = prior
+        self._graph = graph
+        self._salts = salts
+        self._dirty = dirty
+
+        prior_tms: Dict[str, T.TMethodDecl] = {}
+        for c in prior.target.classes:
+            for m in c.methods:
+                prior_tms[f"{c.name}.{m.name}"] = m
+        for m in prior.target.statics:
+            prior_tms[m.name] = m
+        self._prior_tms = prior_tms
+
+        # splice whole SCCs or not at all: the nest is one fixed point
+        self._scc_keys = scc_splice_keys(graph, salts)
+        self._splice_ok: Set[str] = set()
+        self._entry_splice: Dict[Tuple[str, ...], SccSplice] = {}
+        for scc in graph.method_sccs():
+            key = tuple(sorted(scc))
+            if all(
+                not dirty.is_dirty(qn)
+                and qn in prior.schemes
+                and qn in prior.raw_pres
+                and qn in prior_tms
+                for qn in scc
+            ):
+                self._splice_ok.update(scc)
+            elif scc_lookup is not None and key in self._scc_keys:
+                # second-level cache: an SCC dirtied relative to *this*
+                # prior may match a result from an earlier edit (e.g. an
+                # undone change).  Entries are keyed by content, and the
+                # session guarantees they share our annotation universe.
+                entry = scc_lookup(self._scc_keys[key])
+                if entry is not None and entry.methods == key and all(
+                    qn in entry.schemes
+                    and qn in entry.raw_pres
+                    and qn in entry.tmethods
+                    for qn in scc
+                ):
+                    self._entry_splice[key] = entry
+        entry_by_method = {
+            qn: entry
+            for entry in self._entry_splice.values()
+            for qn in entry.methods
+        }
+
+        self.schemes = {}
+        for m in program.all_methods():
+            qn = m.qualified_name
+            spliced = None
+            if qn in self._splice_ok:
+                spliced = prior.schemes[qn]
+            elif qn in entry_by_method:
+                spliced = entry_by_method[qn].schemes[qn]
+            if spliced is not None:
+                # prior regions and padding, fresh decl (uids must match
+                # the spliced target bodies; the AST is structurally
+                # identical but a different parse)
+                self.schemes[qn] = dc_replace(spliced, decl=m)
+            else:
+                scheme = self.annotator.method_scheme(m)
+                self._pad_scheme(scheme)
+                self.schemes[qn] = scheme
+        self._tmethods = {}
+        self._done = set()
+        self._resolver = OverrideResolver(
+            self.table, self.q, self.annotations, self.schemes
+        )
+        self.result = None
+
+    def infer(self) -> InferenceResult:
+        start = time.perf_counter()
+        prior = self._prior
+        result = InferenceResult(
+            target=T.TProgram(q=self.q),
+            table=self.table,
+            annotations=self.annotations,
+            schemes=self.schemes,
+            config=self.config,
+        )
+        result.pristine_q = dict(prior.pristine_q)
+        result.plan_salts = self._salts
+        reused: List[str] = []
+        entry_min_pres: Dict[str, ConstraintAbstraction] = {}
+        for scc in self._graph.method_sccs():
+            key = tuple(sorted(scc))
+            if all(qn in self._splice_ok for qn in scc):
+                for qn in scc:
+                    self.q.define(prior.raw_pres[qn])
+                    self._tmethods[qn] = self._prior_tms[qn]
+                    result.localized_regions[qn] = prior.localized_regions.get(
+                        qn, 0
+                    )
+                result.fixpoint_iterations[key] = prior.fixpoint_iterations.get(
+                    key, 0
+                )
+                self._done.update(scc)
+                result.reused_sccs += 1
+                reused.extend(scc)
+            elif key in self._entry_splice:
+                entry = self._entry_splice[key]
+                for qn in scc:
+                    self.q.define(entry.raw_pres[qn])
+                    self._tmethods[qn] = entry.tmethods[qn]
+                    result.localized_regions[qn] = entry.localized.get(qn, 0)
+                    if qn in entry.min_pres:
+                        entry_min_pres[qn] = entry.min_pres[qn]
+                result.fixpoint_iterations[key] = entry.fixpoint_iterations
+                self._done.update(scc)
+                result.reused_sccs += 1
+                reused.extend(scc)
+            else:
+                self._process_scc(scc, result)
+                result.reinferred_sccs += 1
+            self._resolve_ready()
+        result.raw_pres = {
+            qn: self.q[s.pre] for qn, s in self.schemes.items() if s.pre in self.q
+        }
+        if self.config.minimize_pre:
+            for qn, scheme in self.schemes.items():
+                if qn in self._splice_ok and scheme.pre in prior.target.q:
+                    self.q.define(prior.target.q[scheme.pre])
+                elif qn in entry_min_pres:
+                    self.q.define(entry_min_pres[qn])
+                else:
+                    self._minimize_pre(qn)
+        self._assemble(result.target)
+        result.reused_methods = tuple(sorted(reused))
+        result.scc_keys = dict(self._scc_keys)
+        result.elapsed = time.perf_counter() - start
+        self.result = result
+        return result
+
+
+def reinfer_program(
+    program: S.Program,
+    prior: InferenceResult,
+    config: Optional[InferenceConfig] = None,
+    *,
+    scc_lookup: Optional[Callable[[str], Optional[SccSplice]]] = None,
+) -> InferenceResult:
+    """Incrementally re-infer ``program`` against a prior result.
+
+    Diffs the new program's dependency graph against the prior one and
+    re-runs fixed points only for the dirty SCCs, splicing everything
+    else from ``prior``.  Falls back to a full :func:`infer_program` run
+    when the configs differ, the class structure changed, or the prior
+    result predates incremental support (no replay state).  The output
+    is byte-identical (under :func:`repro.lang.pretty.pretty_target`
+    renumbering) to a from-scratch inference of ``program``.
+    """
+    config = config or prior.config
+    if (
+        config != prior.config
+        or not prior.raw_pres
+        or not prior.pristine_q
+    ):
+        return RegionInference(program, config).infer()
+    table = NormalTypeChecker(program).check()
+    new_graph = DependencyGraph(program, table)
+    old_graph = DependencyGraph(prior.table.program, prior.table)
+    if config.downcast is DowncastStrategy.PADDING:
+        plan = DowncastAnalysis(program, table).build_plan()
+    else:
+        plan = PaddingPlan()
+    salts = plan_salts(program, plan)
+    dirty = depgraph_diff(
+        old_graph, new_graph, old_salts=prior.plan_salts, new_salts=salts
+    )
+    if dirty.full:
+        return RegionInference(program, config).infer()
+    return _IncrementalInference(
+        program, config, prior, table, new_graph, plan, salts, dirty,
+        scc_lookup=scc_lookup,
+    ).infer()
 
 
 def infer_program(

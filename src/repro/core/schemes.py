@@ -136,6 +136,30 @@ class ClassAnnotator:
         self.annotations: Dict[str, ClassAnnotation] = {}
         self._annotate_object()
 
+    @classmethod
+    def adopt(
+        cls,
+        table: ClassTable,
+        q: AbstractionEnv,
+        annotations: Dict[str, ClassAnnotation],
+    ) -> "ClassAnnotator":
+        """An annotator over a *prior run's* annotations.
+
+        Incremental re-inference parses a fresh AST but must keep the
+        prior run's class annotations: re-annotating would mint new
+        region uids, and the prior method schemes being spliced back in
+        refer to the old ones.  The adopted annotator never annotates --
+        it only serves :meth:`method_scheme` / :meth:`lookup_field_type`
+        lookups against the inherited registry.  Only valid while the
+        class structure is unchanged (:func:`repro.core.depgraph.diff`
+        forces a full rebuild otherwise).
+        """
+        self = cls.__new__(cls)
+        self.table = table
+        self.q = q
+        self.annotations = dict(annotations)
+        return self
+
     def _annotate_object(self) -> None:
         r1 = Region.fresh()
         self.annotations[OBJECT_NAME] = ClassAnnotation(

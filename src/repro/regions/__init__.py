@@ -30,7 +30,14 @@ from .constraints import (
     req,
 )
 from .fixpoint import FixpointResult, close_abstraction_env, solve_recursive_abstractions
-from .solver import RegionSolver, SolverStats, coalescing_substitution, entails, solve
+from .solver import (
+    RegionSolver,
+    SolverCheckpoint,
+    SolverStats,
+    coalescing_substitution,
+    entails,
+    solve,
+)
 from .substitution import RegionSubst
 
 __all__ = [
@@ -48,6 +55,7 @@ __all__ = [
     "req",
     "RegionSubst",
     "RegionSolver",
+    "SolverCheckpoint",
     "SolverStats",
     "solve",
     "entails",

@@ -41,7 +41,20 @@ Performance model (see ``docs/solver.md``):
   creates a new SCC cycle -- or merges ancestors into the heap class --
   falls back to invalidate-and-rebuild.  :attr:`RegionSolver.stats`
   counts incremental hits vs. full rebuilds so regressions are
-  observable.
+  observable;
+* atoms can be *retracted*: :meth:`RegionSolver.checkpoint` opens an
+  undo journal recording every write to the union-find, the edge
+  mirrors and the live bitsets, and ``rollback()`` replays it in
+  reverse -- so what-if entailment probes (``_minimize_pre``,
+  incremental re-inference) drop and re-add atoms on one solver instead
+  of copying it per trial.  A journal that outgrows
+  ``JOURNAL_SOFT_LIMIT`` sheds the cache once (counted as a
+  ``rollback_fallback``) and keeps journaling the graph only;
+* a solver mutated for a long stretch without any query sheds its live
+  cache after ``deferred_rebuild_after`` consecutive mutations
+  (``deferred_rebuilds`` in the stats): the next query rebuilds once
+  instead of paying delta propagation for intermediate states nobody
+  observed.
 """
 
 from __future__ import annotations
@@ -62,11 +75,25 @@ from .substitution import RegionSubst
 
 __all__ = [
     "RegionSolver",
+    "SolverCheckpoint",
     "SolverStats",
     "solve",
     "entails",
     "coalescing_substitution",
 ]
+
+#: Mutations absorbed without an interleaved query before the live cache
+#: is shed (the next query rebuilds once).  Large enough that the
+#: alternating add/query workloads of inference never trip it.
+DEFERRED_REBUILD_AFTER = 512
+
+#: Journal entries after which an open checkpoint stops paying for
+#: cache-precise undo: the bitset cache is dropped (one
+#: ``rollback_fallback``) and only the graph keeps journaling.
+JOURNAL_SOFT_LIMIT = 1 << 20
+
+#: sentinel for "key was absent" in journal entries
+_ABSENT = object()
 
 
 @dataclass
@@ -80,12 +107,21 @@ class SolverStats:
     close-and-sweep cache constructions (including the very first build).
     A healthy alternating add/query workload shows ``incremental_hits``
     close to the mutation count and ``full_rebuilds`` near 1.
+
+    ``retractions`` counts checkpoint rollbacks (each one retracts every
+    atom added since the checkpoint); ``rollback_fallbacks`` counts
+    checkpoint windows whose journal outgrew ``JOURNAL_SOFT_LIMIT`` and
+    shed the bitset cache to stay affordable; ``deferred_rebuilds``
+    counts caches shed by the query-free-mutation-burst heuristic.
     """
 
     incremental_edges: int = 0
     incremental_unions: int = 0
     cycle_fallbacks: int = 0
     full_rebuilds: int = 0
+    retractions: int = 0
+    rollback_fallbacks: int = 0
+    deferred_rebuilds: int = 0
 
     @property
     def incremental_hits(self) -> int:
@@ -100,7 +136,54 @@ class SolverStats:
             "incremental_hits": self.incremental_hits,
             "cycle_fallbacks": self.cycle_fallbacks,
             "full_rebuilds": self.full_rebuilds,
+            "retractions": self.retractions,
+            "rollback_fallbacks": self.rollback_fallbacks,
+            "deferred_rebuilds": self.deferred_rebuilds,
         }
+
+
+class SolverCheckpoint:
+    """A mark in a solver's undo journal; ``rollback()`` retracts to it.
+
+    Obtained from :meth:`RegionSolver.checkpoint`.  Checkpoints nest
+    LIFO: rolling back (or committing) an outer checkpoint releases any
+    checkpoints opened after it.  Usable as a context manager -- a
+    checkpoint still active at ``__exit__`` is rolled back, so::
+
+        with solver.checkpoint():
+            solver.add_atom(trial)
+            ok = solver.entails_atom(goal)
+        # trial is retracted here
+
+    ``commit()`` keeps the mutations and merely releases the mark.
+    """
+
+    __slots__ = ("_solver", "_mark", "_active")
+
+    def __init__(self, solver: "RegionSolver", mark: int):
+        self._solver = solver
+        self._mark = mark
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def rollback(self) -> None:
+        """Retract every mutation recorded since this checkpoint."""
+        if self._active:
+            self._solver._release(self, unwind=True)
+
+    def commit(self) -> None:
+        """Keep the mutations; release the mark (and any nested marks)."""
+        if self._active:
+            self._solver._release(self, unwind=False)
+
+    def __enter__(self) -> "SolverCheckpoint":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.rollback()
 
 
 class RegionSolver:
@@ -127,6 +210,7 @@ class RegionSolver:
         constraint: Optional[Constraint] = None,
         *,
         incremental: bool = True,
+        deferred_rebuild_after: int = DEFERRED_REBUILD_AFTER,
     ):
         # union-find parent pointers; regions are added lazily.
         self._parent: Dict[Region, Region] = {}
@@ -152,12 +236,28 @@ class RegionSolver:
         self._classbits: Optional[Dict[Region, int]] = None
         #: cache-maintenance counters; see :class:`SolverStats`
         self.stats = SolverStats()
+        # undo journal for checkpoint/rollback (None = no open checkpoint);
+        # entries are ("m", dict, key, old), ("s", set, member, had) or
+        # ("a", attr_name, old), replayed in reverse by _unwind().
+        self._journal: Optional[List[tuple]] = None
+        self._cp_stack: List[SolverCheckpoint] = []
+        self._journal_shed = False
+        # deferred-rebuild heuristic: consecutive cache-maintained
+        # mutations since the last bitset query
+        self._mutations_since_query = 0
+        self._deferred_rebuild_after = deferred_rebuild_after
         if constraint is not None:
             self.add_constraint(constraint)
 
     # -- cache control --------------------------------------------------------
     def _invalidate(self) -> None:
         """Drop the closure flag and reachability cache after a mutation."""
+        jr = self._journal
+        if jr is not None:
+            jr.append(("a", "_closed", self._closed))
+            jr.append(("a", "_bit", self._bit))
+            jr.append(("a", "_reach", self._reach))
+            jr.append(("a", "_classbits", self._classbits))
         self._closed = False
         self._bit = None
         self._reach = None
@@ -173,6 +273,107 @@ class RegionSolver:
         """
         return self._reach is not None
 
+    def _note_mutation(self) -> None:
+        """Deferred-rebuild heuristic: shed a live cache nobody queries.
+
+        Called on every non-trivial mutation outside a checkpoint window.
+        A long query-free burst pays delta propagation for intermediate
+        states no query ever observes; past the threshold it is cheaper to
+        drop the cache and let the next query rebuild once.
+        """
+        if self._journal is not None or not self._cache_live:
+            return
+        self._mutations_since_query += 1
+        if self._mutations_since_query > self._deferred_rebuild_after:
+            self.stats.deferred_rebuilds += 1
+            self._mutations_since_query = 0
+            self._invalidate()
+
+    # -- checkpoint / rollback -------------------------------------------------
+    def checkpoint(self) -> SolverCheckpoint:
+        """Open an undo mark; see :class:`SolverCheckpoint`.
+
+        While any checkpoint is open every state write (union-find, edge
+        mirrors, live bitsets, closure flag) is journaled, and
+        ``find()`` skips path compression so parent chains stay
+        restorable.  Checkpoints nest LIFO.
+        """
+        if self._journal is None:
+            self._journal = []
+            self._journal_shed = False
+        cp = SolverCheckpoint(self, len(self._journal))
+        self._cp_stack.append(cp)
+        return cp
+
+    def _release(self, cp: SolverCheckpoint, *, unwind: bool) -> None:
+        if cp not in self._cp_stack:  # pragma: no cover - defensive
+            raise ValueError("checkpoint does not belong to this solver")
+        # releasing an outer checkpoint deactivates anything nested in it
+        while self._cp_stack:
+            inner = self._cp_stack.pop()
+            inner._active = False
+            if inner is cp:
+                break
+        if unwind:
+            self._unwind(cp._mark)
+            self.stats.retractions += 1
+        if not self._cp_stack:
+            self._journal = None
+            self._journal_shed = False
+
+    def _unwind(self, mark: int) -> None:
+        """Replay the journal in reverse down to ``mark``."""
+        jr = self._journal
+        assert jr is not None
+        while len(jr) > mark:
+            entry = jr.pop()
+            tag = entry[0]
+            if tag == "m":
+                _, m, k, old = entry
+                if old is _ABSENT:
+                    m.pop(k, None)
+                else:
+                    m[k] = old
+            elif tag == "s":
+                _, s, x, had = entry
+                if had:
+                    s.add(x)
+                else:
+                    s.discard(x)
+            else:  # "a"
+                setattr(self, entry[1], entry[2])
+
+    def _journal_overflow(self) -> None:
+        """Shed the cache once if the open journal has grown too large.
+
+        Checked at the *start* of a mutating operation (never mid-sweep,
+        so the journal always covers complete operations).  After the
+        shed only graph writes are journaled -- rollback stays exact, the
+        next query after the window rebuilds the bitsets once.
+        """
+        jr = self._journal
+        if (
+            jr is not None
+            and not self._journal_shed
+            and len(jr) > JOURNAL_SOFT_LIMIT
+        ):
+            self._journal_shed = True
+            self.stats.rollback_fallbacks += 1
+            if self._cache_live:
+                self._invalidate()
+
+    def _jm(self, m: Dict, k) -> None:
+        """Journal dict ``m[k]`` (current value, or absence) before a write."""
+        jr = self._journal
+        if jr is not None:
+            jr.append(("m", m, k, m.get(k, _ABSENT)))
+
+    def _js(self, s: Set, x) -> None:
+        """Journal set membership of ``x`` in ``s`` before a write."""
+        jr = self._journal
+        if jr is not None:
+            jr.append(("s", s, x, x in s))
+
     def _cache_enter(self, rep: Region) -> None:
         """Give a brand-new representative its bit and singleton bitsets."""
         assert self._bit is not None and self._reach is not None
@@ -180,9 +381,12 @@ class RegionSolver:
         if rep in self._reach:
             return
         if rep not in self._bit:
+            self._jm(self._bit, rep)
             self._bit[rep] = len(self._bit)
         own = 1 << self._bit[rep]
+        self._jm(self._classbits, rep)
         self._classbits[rep] = own
+        self._jm(self._reach, rep)
         self._reach[rep] = own
 
     def _propagate(self, start: Region) -> None:
@@ -198,6 +402,7 @@ class RegionSolver:
         assert self._reach is not None
         masks = self._reach
         pred = self._pred
+        jr = self._journal
         work = [start]
         while work:
             node = work.pop()
@@ -205,6 +410,8 @@ class RegionSolver:
             for p in pred[node]:
                 add = mask & ~masks[p]
                 if add:
+                    if jr is not None:
+                        jr.append(("m", masks, p, masks[p]))
                     masks[p] |= add
                     work.append(p)
 
@@ -256,10 +463,18 @@ class RegionSolver:
         self._reach = None
         self._classbits = None
         self.stats = SolverStats()
+        self._journal = None
+        self._cp_stack = []
+        self._journal_shed = False
+        self._mutations_since_query = 0
+        self._deferred_rebuild_after = DEFERRED_REBUILD_AFTER
 
     # -- union-find -----------------------------------------------------------
     def _ensure(self, r: Region) -> Region:
         if r not in self._parent:
+            self._jm(self._parent, r)
+            self._jm(self._succ, r)
+            self._jm(self._pred, r)
             self._parent[r] = r
             self._succ[r] = set()
             self._pred[r] = set()
@@ -272,6 +487,11 @@ class RegionSolver:
         root = r
         while self._parent[root] != root:
             root = self._parent[root]
+        if self._journal is not None:
+            # no path compression while a checkpoint is open: rollback
+            # restores parent pointers exactly, and compressing here would
+            # write entries the journal must then carry for no query win
+            return root
         # path compression
         while self._parent[r] != root:
             self._parent[r], r = root, self._parent[r]
@@ -292,9 +512,11 @@ class RegionSolver:
         re-closes) or would give the heap class ancestors (which must be
         collapsed into heap by the completion rule in :meth:`close`).
         """
+        self._journal_overflow()
         ra, rb = self._ensure(a), self._ensure(b)
         if ra == rb:
             return ra
+        self._note_mutation()
         incremental = self._cache_live and self._incremental
         if incremental:
             self._cache_enter(ra)
@@ -310,20 +532,44 @@ class RegionSolver:
             keep, drop = rb, ra
         elif not (ra.is_heap or ra.is_null) and rb.uid < ra.uid:
             keep, drop = rb, ra
+        jr = self._journal
+        self._jm(self._parent, drop)
         self._parent[drop] = keep
+        self._jm(self._succ, drop)
+        self._jm(self._pred, drop)
         succ_d = self._succ.pop(drop)
         pred_d = self._pred.pop(drop)
         # re-point the mirror edges held by the dropped rep's neighbours
         for s in succ_d:
             mirror = self._pred[s]
+            if jr is not None:
+                jr.append(("s", mirror, drop, True))
+                jr.append(("s", mirror, keep, keep in mirror))
             mirror.discard(drop)
             mirror.add(keep)
         for p in pred_d:
             mirror = self._succ[p]
+            if jr is not None:
+                jr.append(("s", mirror, drop, True))
+                jr.append(("s", mirror, keep, keep in mirror))
             mirror.discard(drop)
             mirror.add(keep)
         succ_k = self._succ[keep]
         pred_k = self._pred[keep]
+        if jr is not None:
+            # journal the kept rep's sets as per-element deltas (never as
+            # replacement copies): earlier journal entries hold references
+            # to these very set objects, so undo must restore them in place
+            for s in succ_d:
+                if s not in succ_k:
+                    jr.append(("s", succ_k, s, False))
+            for p in pred_d:
+                if p not in pred_k:
+                    jr.append(("s", pred_k, p, False))
+            jr.append(("s", succ_k, keep, keep in succ_k))
+            jr.append(("s", succ_k, drop, drop in succ_k))
+            jr.append(("s", pred_k, keep, keep in pred_k))
+            jr.append(("s", pred_k, drop, drop in pred_k))
         succ_k |= succ_d
         pred_k |= pred_d
         succ_k.discard(keep)
@@ -338,6 +584,10 @@ class RegionSolver:
         # classes' bits, and every ancestor of either class gains the
         # union via the dirty-frontier sweep.
         assert self._reach is not None and self._classbits is not None
+        self._jm(self._classbits, keep)
+        self._jm(self._classbits, drop)
+        self._jm(self._reach, keep)
+        self._jm(self._reach, drop)
         self._classbits[keep] = self._classbits[keep] | self._classbits.pop(drop)
         self._reach[keep] = self._reach[keep] | self._reach.pop(drop)
         self._propagate(keep)
@@ -378,6 +628,10 @@ class RegionSolver:
             return
         if rb in self._succ[la]:
             return
+        self._journal_overflow()
+        self._note_mutation()
+        self._js(self._succ[la], rb)
+        self._js(self._pred[rb], la)
         self._succ[la].add(rb)
         self._pred[rb].add(la)
         if not (self._cache_live and self._incremental):
@@ -394,6 +648,7 @@ class RegionSolver:
             return
         add = self._reach[rb] & ~self._reach[la]
         if add:
+            self._jm(self._reach, la)
             self._reach[la] |= add
             self._propagate(la)
         self.stats.incremental_edges += 1
@@ -452,6 +707,9 @@ class RegionSolver:
                 frontier.extend(self._pred[node])
             for r in above:
                 self.union(r, HEAP)
+        jr = self._journal
+        if jr is not None:
+            jr.append(("a", "_closed", self._closed))
         self._closed = True
 
     def _tarjan_sccs(self) -> List[List[Region]]:
@@ -516,6 +774,7 @@ class RegionSolver:
         incrementally.
         """
         self.close()
+        self._mutations_since_query = 0
         if self._reach is not None:
             return self._reach
         self.stats.full_rebuilds += 1
@@ -545,6 +804,13 @@ class RegionSolver:
                 for child in succ[node]:
                     mask |= masks[child]
                 masks[node] = mask
+        jr = self._journal
+        if jr is not None:
+            # the replacement dicts are fresh objects, so journaling the
+            # three attribute slots alone makes the rebuild fully undoable
+            jr.append(("a", "_bit", self._bit))
+            jr.append(("a", "_reach", self._reach))
+            jr.append(("a", "_classbits", self._classbits))
         self._bit = bit
         self._reach = masks
         self._classbits = {rep: 1 << bit[rep] for rep in masks}
@@ -757,9 +1023,14 @@ class RegionSolver:
         with incremental maintenance, *mutating* the copy extends the
         inherited cache by delta propagation instead of discarding it.
         The stats counters carry over by value (the copy's mutations do
-        not feed back into the original's counters).
+        not feed back into the original's counters).  An open checkpoint
+        journal does *not* carry over: the copy starts with no undo
+        history of its own.
         """
-        dup = RegionSolver(incremental=self._incremental)
+        dup = RegionSolver(
+            incremental=self._incremental,
+            deferred_rebuild_after=self._deferred_rebuild_after,
+        )
         dup._parent = dict(self._parent)
         dup._succ = {k: set(v) for k, v in self._succ.items()}
         dup._pred = {k: set(v) for k, v in self._pred.items()}
@@ -778,21 +1049,36 @@ def _transitive_reduction(
 ) -> Set[Tuple[Region, Region]]:
     """Remove pairs implied by the transitive closure of the others.
 
-    The input is closed (it came from reachability queries), so ``(a, c)``
-    is redundant iff some ``b`` distinct from both has ``(a, b)`` and
-    ``(b, c)`` present.
+    The input is closed (it came from reachability queries over distinct
+    equivalence classes, so it is a transitively-closed DAG with no
+    self-loops): ``(a, c)`` is redundant iff some successor ``b`` of
+    ``a`` also has ``(b, c)``.
+
+    Implemented over dense per-source successor bitsets, mirroring the
+    solver's memoised descendant masks: one pass ORs together the masks
+    of ``a``'s successors, and ``a`` keeps exactly the successors not
+    dominated by that union -- O(pairs) big-int mask operations instead
+    of the old O(pairs x degree) membership loop.
     """
-    succ: Dict[Region, Set[Region]] = {}
+    if not pairs:
+        return set()
+    index: Dict[Region, int] = {}
+    succ: Dict[Region, List[Region]] = {}
+    succ_mask: Dict[Region, int] = {}
     for a, b in pairs:
-        succ.setdefault(a, set()).add(b)
+        if b not in index:
+            index[b] = len(index)
+        succ.setdefault(a, []).append(b)
+        succ_mask[a] = succ_mask.get(a, 0) | (1 << index[b])
     reduced = set()
-    for a, c in pairs:
-        redundant = any(
-            b != a and b != c and c in succ.get(b, ())
-            for b in succ.get(a, ())
-        )
-        if not redundant:
-            reduced.add((a, c))
+    for a, bs in succ.items():
+        dominated = 0
+        for b in bs:
+            dominated |= succ_mask.get(b, 0)
+        keep = succ_mask[a] & ~dominated
+        for b in bs:
+            if (keep >> index[b]) & 1:
+                reduced.add((a, b))
     return reduced
 
 

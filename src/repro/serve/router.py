@@ -324,11 +324,35 @@ class Router:
                 result = session.infer(request.source, request.config)
         return result, session.stats.hit_count("infer") > hits_before
 
+    def _reinference(
+        self, tenant: Tenant, request: InferRequest
+    ) -> Tuple[InferenceResult, bool]:
+        """The incremental fast path: a named document resubmitted.
+
+        Runs inline under the tenant's minting guard on every backend —
+        the point of the path is that keystroke-scale edits re-infer only
+        their dirty SCCs, which is far cheaper than a pool round-trip
+        (and splicing against the prior result requires the uid universe
+        the tenant's own band minted).  ``cached`` in the response means
+        "the incremental path engaged": the prior was found and reused,
+        wholesale (unchanged resubmission) or per-SCC.
+        """
+        session = tenant.session
+        doc_hits = session.stats.hit_count("scc.document")
+        with tenant.minting():
+            result = session.reinfer(
+                request.source, request.config, document=request.document
+            )
+        return result, session.stats.hit_count("scc.document") > doc_hits
+
     def _infer(
         self, tenant: Tenant, request: InferRequest, deadline: float
     ) -> Dict[str, Any]:
-        result, cached = self._inference(tenant, request, deadline)
-        return {
+        if request.document is not None:
+            result, cached = self._reinference(tenant, request)
+        else:
+            result, cached = self._inference(tenant, request, deadline)
+        response = {
             "ok": True,
             "tenant": tenant.name,
             "cached": cached,
@@ -340,6 +364,11 @@ class Router:
             },
             "diagnostics": [],
         }
+        if request.document is not None:
+            response["document"] = request.document
+            response["stats"]["reused_sccs"] = result.reused_sccs
+            response["stats"]["reinferred_sccs"] = result.reinferred_sccs
+        return response
 
     def _check(
         self, tenant: Tenant, request: InferRequest, deadline: float

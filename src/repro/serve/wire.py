@@ -53,6 +53,10 @@ MAX_SOURCE_BYTES = 512 * 1024
 #: tenant names are path/log/metric-safe identifiers
 _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
+#: logical document names (editor buffers, file paths) for the
+#: incremental fast path; slashes allowed, still log/metric-safe
+_DOCUMENT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._/-]{0,127}$")
+
 _CONFIG_BOOL_KEYS = (
     "localize_blocks",
     "polymorphic_recursion",
@@ -156,6 +160,19 @@ def _parse_source(payload: Dict[str, Any]) -> str:
     return source
 
 
+def _parse_document(payload: Dict[str, Any]) -> Optional[str]:
+    """The optional logical-document name enabling incremental re-inference."""
+    document = payload.get("document")
+    if document is None:
+        return None
+    if not isinstance(document, str) or not _DOCUMENT_RE.match(document):
+        raise WireError(
+            "document must match [A-Za-z0-9][A-Za-z0-9._/-]{0,127}",
+            field="document",
+        )
+    return document
+
+
 def _parse_timeout(payload: Dict[str, Any], cap: float) -> float:
     """Per-request deadline: ``timeout`` field, clamped to the server cap."""
     timeout = payload.get("timeout")
@@ -170,12 +187,20 @@ def _parse_timeout(payload: Dict[str, Any], cap: float) -> float:
 
 @dataclass(frozen=True)
 class InferRequest:
-    """``POST /v1/infer`` and ``POST /v1/check``: one program, one config."""
+    """``POST /v1/infer`` and ``POST /v1/check``: one program, one config.
+
+    ``document`` (optional) names a logical document the tenant edits and
+    resubmits: with it set, ``/v1/infer`` takes the incremental fast path
+    (:meth:`Session.reinfer <repro.api.Session.reinfer>`) — only the
+    method SCCs dirtied since the document's last submission re-run their
+    fixed points.
+    """
 
     source: str
     config: InferenceConfig
     tenant: str
     timeout: float
+    document: Optional[str] = None
 
     @staticmethod
     def from_payload(
@@ -189,6 +214,7 @@ class InferRequest:
             config=parse_config(payload),
             tenant=parse_tenant(tenant_header, payload),
             timeout=_parse_timeout(payload, timeout_cap),
+            document=_parse_document(payload),
         )
 
 

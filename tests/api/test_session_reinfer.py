@@ -1,0 +1,161 @@
+"""``Session.reinfer``: document lineages and the two-tier SCC cache."""
+
+import pytest
+
+from repro.api import Session
+from repro.bench.composite import composite_source, tweak_method_body
+from repro.core import InferenceConfig, SubtypingMode
+from repro.lang.pretty import pretty_target
+
+
+EDIT = ("1103515245", "1103515246")  # bisort's nextRandom multiplier
+OTHER_EDIT = ("100003", "100004")  # em3d's sumValues modulus
+
+
+def rendered(result):
+    return pretty_target(result.target, renumber=True)
+
+
+@pytest.fixture(scope="module")
+def sources():
+    src = composite_source()
+    return src, tweak_method_body(src, *EDIT)
+
+
+class TestDocumentLifecycle(object):
+    def test_first_submission_is_a_document_miss(self, sources):
+        src, _ = sources
+        session = Session()
+        session.reinfer(src, document="buf")
+        stats = session.stats.as_dict()
+        assert stats["misses"].get("scc.document") == 1
+        assert "scc.document" not in stats["hits"]
+
+    def test_edit_takes_incremental_path(self, sources):
+        src, edited = sources
+        session = Session()
+        session.reinfer(src, document="buf")
+        result = session.reinfer(edited, document="buf")
+        stats = session.stats.as_dict()
+        assert stats["hits"].get("scc.document") == 1
+        assert result.reused_sccs > 0
+        assert result.reinferred_sccs >= 1
+        assert stats["hits"].get("scc.reuse") == result.reused_sccs
+        assert stats["misses"].get("scc.reuse") == result.reinferred_sccs
+        assert rendered(result) == rendered(Session().infer(edited))
+
+    def test_unchanged_resubmission_reuses_wholesale(self, sources):
+        src, _ = sources
+        session = Session()
+        first = session.reinfer(src, document="buf")
+        again = session.reinfer(src, document="buf")
+        assert again is first
+        stats = session.stats.as_dict()
+        assert stats["hits"].get("scc.reuse") == len(first.scc_keys)
+
+    def test_full_undo_is_a_file_level_hit(self, sources):
+        src, edited = sources
+        session = Session()
+        original = session.reinfer(src, document="buf")
+        session.reinfer(edited, document="buf")
+        restored = session.reinfer(src, document="buf")
+        stats = session.stats.as_dict()
+        # reverting to a version already inferred never re-runs anything:
+        # the file-level artifact answers before the SCC tier is probed
+        assert restored is original
+        assert stats["hits"].get("scc.reuse", 0) >= len(original.scc_keys)
+
+    def test_partial_undo_is_served_from_the_scc_cache(self, sources):
+        src, edited = sources
+        both = tweak_method_body(edited, *OTHER_EDIT)
+        only_other = tweak_method_body(src, *OTHER_EDIT)
+        session = Session()
+        session.reinfer(src, document="buf")
+        session.reinfer(edited, document="buf")
+        session.reinfer(both, document="buf")
+        # reverting the first edit while keeping the second yields a
+        # source never seen at file level — but the SCC the revert
+        # dirties still sits in the cache under its original fingerprint
+        restored = session.reinfer(only_other, document="buf")
+        stats = session.stats.as_dict()
+        assert stats["hits"].get("scc.lookup", 0) > 0
+        assert restored.reinferred_sccs == 0
+        assert rendered(restored) == rendered(Session().infer(only_other))
+
+    def test_documents_are_independent(self, sources):
+        src, edited = sources
+        session = Session()
+        session.reinfer(src, document="a")
+        session.reinfer(edited, document="b")
+        stats = session.stats.as_dict()
+        # b's first submission must not splice against a's lineage
+        assert stats["misses"].get("scc.document") == 2
+
+    def test_config_is_part_of_the_document_key(self, sources):
+        src, _ = sources
+        session = Session()
+        session.reinfer(src, document="buf")
+        other = InferenceConfig(mode=SubtypingMode.NONE)
+        session.reinfer(src, other, document="buf")
+        stats = session.stats.as_dict()
+        assert stats["misses"].get("scc.document") == 2
+
+
+class TestCacheCoupling(object):
+    def test_clear_cache_resets_both_tiers(self, sources):
+        src, edited = sources
+        # byte accounting only runs under a byte bound; pick one far too
+        # large to ever evict
+        session = Session(max_cache_bytes=1 << 30)
+        session.reinfer(src, document="buf")
+        session.reinfer(edited, document="buf")
+        assert session.cache_bytes > 0
+        session.clear_cache()
+        assert session.cache_bytes == 0
+        # the lineage is gone too: the next submission is a fresh miss
+        session.reinfer(src, document="buf")
+        stats = session.stats.as_dict()
+        assert stats["misses"].get("scc.document") == 2
+
+    def test_scc_entries_count_toward_cache_bytes(self, sources):
+        src, edited = sources
+        session = Session(max_cache_bytes=1 << 30)
+        session.infer(src)
+        session.infer(edited)
+        file_tier_only = session.cache_bytes
+        session.clear_cache()
+        session.reinfer(src, document="buf")
+        session.reinfer(edited, document="buf")
+        assert session.cache_bytes > file_tier_only
+
+    def test_evicting_the_anchor_discards_scc_entries(self, sources):
+        src, edited = sources
+        session = Session(max_cache_entries=2)
+        session.reinfer(src, document="buf")
+        session.reinfer(edited, document="buf")
+        # churn unrelated artifacts until the document's infer anchor
+        # falls out of the byte-weighted LRU
+        filler = "int f%d(int n) { n + %d }"
+        for i in range(4):
+            session.infer(filler % (i, i))
+        evictions = session.stats.as_dict()["evictions"]
+        assert evictions.get("infer", 0) > 0
+        assert evictions.get("scc", 0) > 0
+        # the lineage was invalidated with its anchor: fresh miss
+        misses_before = session.stats.as_dict()["misses"].get(
+            "scc.document", 0
+        )
+        session.reinfer(src, document="buf")
+        stats = session.stats.as_dict()
+        assert stats["misses"].get("scc.document") == misses_before + 1
+
+
+class TestByteIdentityThroughSession(object):
+    def test_edit_chain_matches_scratch_at_every_step(self, sources):
+        src, edited = sources
+        twice = tweak_method_body(edited, *OTHER_EDIT)
+        session = Session()
+        scratch = Session()
+        for version in (src, edited, twice, src):
+            incr = session.reinfer(version, document="buf")
+            assert rendered(incr) == rendered(scratch.infer(version))

@@ -132,3 +132,47 @@ class TestUsesClassEdges(object):
             """
         )
         assert classinv_node("A") in g.edges[method_node("f")]
+
+
+class TestCallResolutionPrecision(object):
+    def test_local_in_nested_block_resolves_receiver(self):
+        # the receiver's type comes from a LocalDecl inside an if-branch
+        # block, not the method's parameter list
+        g = graph(
+            """
+            class A { int x; int get() { x } }
+            int f(int n) {
+              if (n > 0) { A a = new A(1); a.get() } else { 0 }
+            }
+            """
+        )
+        pos = order_of(g)
+        assert pos["A.get"] < pos["f"]
+
+    def test_primitive_shadowing_drops_stale_binding(self):
+        # the inner block re-declares `a` as int; the call after it in an
+        # outer scope still resolves through the outer binding
+        g = graph(
+            """
+            class A { int x; int get() { x } }
+            int f(A a) {
+              int r = if (a.x > 0) { int a = 1; a } else { 0 };
+              a.get() + r
+            }
+            """
+        )
+        pos = order_of(g)
+        assert pos["A.get"] < pos["f"]
+
+    def test_same_name_fallback_partitions_static_and_instance(self):
+        # when receiver resolution fails, the conservative fallback
+        # depends on every same-name method of the right kind
+        g = graph(
+            """
+            class A { int x; int get() { x } }
+            class B { int y; int get() { y } }
+            int get() { 1 }
+            """
+        )
+        assert g._same_name_methods("get", static=False) == ["A.get", "B.get"]
+        assert g._same_name_methods("get", static=True) == ["get"]

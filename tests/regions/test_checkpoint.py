@@ -1,0 +1,297 @@
+"""Checkpoint/rollback (atom retraction) tests for the region solver.
+
+The journal must restore *everything* observable -- union-find classes,
+edge mirrors, closure flag and the live reachability bitsets -- across
+arbitrary mixes of edges, unions, cycle collapses, queries and cache
+rebuilds inside the checkpoint window.  A copy taken at checkpoint time
+is the oracle throughout.
+"""
+
+import random
+
+import pytest
+
+import repro.regions.solver as solver_mod
+from repro.regions import (
+    Constraint,
+    HEAP,
+    Outlives,
+    Region,
+    RegionSolver,
+    outlives,
+    req,
+)
+
+
+def observable_state(solver, regions):
+    """Everything a client can see, as comparable data."""
+    ents = tuple(
+        solver.entails_outlives(a, b) for a in regions for b in regions
+    )
+    eqs = tuple(
+        solver.same_region(a, b) for a in regions for b in regions
+    )
+    proj = solver.project(list(regions))
+    return ents, eqs, frozenset(proj.atoms)
+
+
+class TestCheckpointBasics:
+    def test_rollback_retracts_an_edge(self):
+        a, b = Region.fresh_many(2)
+        solver = RegionSolver()
+        cp = solver.checkpoint()
+        solver.add_outlives(a, b)
+        assert solver.entails_outlives(a, b)
+        cp.rollback()
+        assert not solver.entails_outlives(a, b)
+        assert solver.stats.retractions == 1
+
+    def test_rollback_retracts_a_union(self):
+        a, b = Region.fresh_many(2)
+        solver = RegionSolver()
+        with solver.checkpoint():
+            solver.add_eq(a, b)
+            assert solver.same_region(a, b)
+        assert not solver.same_region(a, b)
+
+    def test_commit_keeps_mutations(self):
+        a, b = Region.fresh_many(2)
+        solver = RegionSolver()
+        cp = solver.checkpoint()
+        solver.add_outlives(a, b)
+        cp.commit()
+        assert solver.entails_outlives(a, b)
+        assert solver.stats.retractions == 0
+        assert not cp.active
+
+    def test_nested_checkpoints_roll_back_independently(self):
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver()
+        outer = solver.checkpoint()
+        solver.add_outlives(a, b)
+        inner = solver.checkpoint()
+        solver.add_outlives(b, c)
+        assert solver.entails_outlives(a, c)
+        inner.rollback()
+        assert solver.entails_outlives(a, b)
+        assert not solver.entails_outlives(b, c)
+        outer.rollback()
+        assert not solver.entails_outlives(a, b)
+
+    def test_releasing_outer_deactivates_inner(self):
+        a, b = Region.fresh_many(2)
+        solver = RegionSolver()
+        outer = solver.checkpoint()
+        inner = solver.checkpoint()
+        solver.add_outlives(a, b)
+        outer.rollback()
+        assert not inner.active
+        assert not solver.entails_outlives(a, b)
+        # a released checkpoint is inert
+        inner.rollback()
+        assert solver.stats.retractions == 1
+
+    def test_rollback_is_idempotent(self):
+        solver = RegionSolver()
+        cp = solver.checkpoint()
+        solver.add_outlives(*Region.fresh_many(2))
+        cp.rollback()
+        cp.rollback()
+        assert solver.stats.retractions == 1
+
+    def test_context_manager_rolls_back_on_exception(self):
+        a, b = Region.fresh_many(2)
+        solver = RegionSolver()
+        with pytest.raises(RuntimeError):
+            with solver.checkpoint():
+                solver.add_outlives(a, b)
+                raise RuntimeError("boom")
+        assert not solver.entails_outlives(a, b)
+
+
+class TestCheckpointWithLiveCache:
+    def test_rollback_keeps_warm_cache_usable(self):
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver(outlives(a, b)).warm()
+        rebuilds = solver.stats.full_rebuilds
+        with solver.checkpoint():
+            solver.add_outlives(b, c)
+            assert solver.entails_outlives(a, c)
+        assert not solver.entails_outlives(a, c)
+        assert solver.entails_outlives(a, b)
+        # the retraction restored the bitsets in place: no rebuild needed
+        assert solver.stats.full_rebuilds == rebuilds
+
+    def test_rollback_across_cycle_fallback_and_rebuild(self):
+        # adding an edge that closes a cycle sheds the cache; a query
+        # inside the window rebuilds it; rollback must restore the
+        # pre-checkpoint cache and the collapsed classes must separate
+        a, b, c = Region.fresh_many(3)
+        solver = RegionSolver(outlives(a, b) & outlives(b, c)).warm()
+        before = observable_state(solver, (a, b, c))
+        with solver.checkpoint():
+            solver.add_outlives(c, a)  # closes the cycle a>=b>=c>=a
+            assert solver.same_region(a, c)  # forces re-close + rebuild
+            assert solver.same_region(b, c)
+        assert observable_state(solver, (a, b, c)) == before
+        assert not solver.same_region(a, c)
+
+    def test_rollback_across_heap_union(self):
+        a, b = Region.fresh_many(2)
+        solver = RegionSolver(outlives(a, b)).warm()
+        before = observable_state(solver, (a, b, HEAP))
+        with solver.checkpoint():
+            solver.add_outlives(b, HEAP)
+            assert solver.same_region(b, HEAP)
+            assert solver.same_region(a, HEAP)
+        assert observable_state(solver, (a, b, HEAP)) == before
+
+    def test_queries_inside_window_see_trial_atoms_only(self):
+        a, b, c, d = Region.fresh_many(4)
+        solver = RegionSolver(outlives(a, b)).warm()
+        with solver.checkpoint():
+            solver.add_outlives(b, c)
+            solver.add_eq(c, d)
+            assert solver.entails_outlives(a, d)
+            assert solver.project([a, d]).atoms == outlives(a, d).atoms
+        assert solver.project([a, d]).is_true
+
+
+class TestCheckpointDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_rollback_matches_copy_oracle(self, seed):
+        rng = random.Random(seed)
+        regions = Region.fresh_many(12)
+        solver = RegionSolver()
+        for _ in range(10):
+            solver.add_outlives(rng.choice(regions), rng.choice(regions))
+        if rng.random() < 0.5:
+            solver.warm()
+        oracle = solver.copy()
+        cp = solver.checkpoint()
+        for _ in range(15):
+            op = rng.random()
+            x, y = rng.choice(regions), rng.choice(regions)
+            if op < 0.5:
+                solver.add_outlives(x, y)
+            elif op < 0.7:
+                solver.add_eq(x, y)
+            elif op < 0.9:
+                solver.entails_outlives(x, y)
+            else:
+                solver.close()
+        cp.rollback()
+        assert observable_state(solver, regions) == observable_state(
+            oracle, regions
+        )
+        # and the rolled-back solver is still fully functional
+        solver.add_outlives(regions[0], regions[1])
+        oracle.add_outlives(regions[0], regions[1])
+        assert observable_state(solver, regions) == observable_state(
+            oracle, regions
+        )
+
+
+class TestJournalOverflowFallback:
+    def test_overflow_sheds_cache_once_but_rollback_stays_exact(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(solver_mod, "JOURNAL_SOFT_LIMIT", 8)
+        regions = Region.fresh_many(20)
+        solver = RegionSolver().warm()
+        oracle = solver.copy()
+        cp = solver.checkpoint()
+        for left, right in zip(regions, regions[1:]):
+            solver.add_outlives(left, right)
+        assert solver.stats.rollback_fallbacks == 1
+        assert solver.entails_outlives(regions[0], regions[-1])
+        cp.rollback()
+        assert observable_state(solver, regions[:6]) == observable_state(
+            oracle, regions[:6]
+        )
+
+
+class TestDeferredRebuild:
+    def test_long_query_free_burst_sheds_cache(self):
+        regions = Region.fresh_many(40)
+        solver = RegionSolver(deferred_rebuild_after=10).warm()
+        for left, right in zip(regions, regions[1:]):
+            solver.add_outlives(left, right)
+        assert solver.stats.deferred_rebuilds >= 1
+        # mutations after the shed are maintenance-free
+        assert solver.stats.incremental_edges <= 11
+        # the next query rebuilds once and is correct
+        assert solver.entails_outlives(regions[0], regions[-1])
+
+    def test_alternating_workload_never_triggers_heuristic(self):
+        regions = Region.fresh_many(30)
+        solver = RegionSolver(deferred_rebuild_after=10).warm()
+        for left, right in zip(regions, regions[1:]):
+            solver.add_outlives(left, right)
+            assert solver.entails_outlives(regions[0], right)
+        assert solver.stats.deferred_rebuilds == 0
+        assert solver.stats.full_rebuilds == 1
+
+    def test_counter_not_bumped_inside_checkpoint_window(self):
+        regions = Region.fresh_many(40)
+        solver = RegionSolver(deferred_rebuild_after=10).warm()
+        with solver.checkpoint():
+            for left, right in zip(regions, regions[1:]):
+                solver.add_outlives(left, right)
+            assert solver.stats.deferred_rebuilds == 0
+            assert solver.entails_outlives(regions[0], regions[-1])
+
+
+class TestTransitiveReductionBitsets:
+    def test_chain_reduces_to_cover(self):
+        a, b, c = Region.fresh_many(3)
+        pairs = {(a, b), (b, c), (a, c)}
+        assert solver_mod._transitive_reduction(pairs) == {(a, b), (b, c)}
+
+    def test_diamond_keeps_both_branches(self):
+        a, b, c, d = Region.fresh_many(4)
+        pairs = {(a, b), (a, c), (b, d), (c, d), (a, d)}
+        assert solver_mod._transitive_reduction(pairs) == {
+            (a, b),
+            (a, c),
+            (b, d),
+            (c, d),
+        }
+
+    def test_empty_and_single(self):
+        a, b = Region.fresh_many(2)
+        assert solver_mod._transitive_reduction(set()) == set()
+        assert solver_mod._transitive_reduction({(a, b)}) == {(a, b)}
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_naive_reference_on_random_closed_dags(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(2, 12)
+        regions = Region.fresh_many(n)
+        # random DAG over an index order, then transitively close it
+        succ = {i: set() for i in range(n)}
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.3:
+                    succ[i].add(j)
+        for i in reversed(range(n)):
+            for j in list(succ[i]):
+                succ[i] |= succ[j]
+        pairs = {
+            (regions[i], regions[j]) for i in range(n) for j in succ[i]
+        }
+
+        def naive(ps):
+            smap = {}
+            for x, y in ps:
+                smap.setdefault(x, set()).add(y)
+            return {
+                (x, y)
+                for x, y in ps
+                if not any(
+                    z != x and z != y and y in smap.get(z, ())
+                    for z in smap.get(x, ())
+                )
+            }
+
+        assert solver_mod._transitive_reduction(pairs) == naive(pairs)

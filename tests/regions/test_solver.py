@@ -440,6 +440,9 @@ class TestIncrementalMaintenance:
             "incremental_hits",
             "cycle_fallbacks",
             "full_rebuilds",
+            "retractions",
+            "rollback_fallbacks",
+            "deferred_rebuilds",
         }
 
     def test_warm_builds_cache_even_for_trivial_hypotheses(self):

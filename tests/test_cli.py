@@ -137,3 +137,61 @@ class TestPoolFlags(object):
     def test_fig9_accepts_backend_and_jobs(self, capsys):
         assert main(["fig9", "--backend", "thread", "--jobs", "2"]) == 0
         assert "Fig 9" in capsys.readouterr().out
+
+
+class TestWatch(object):
+    def test_iterations_zero_exits_after_initial(self, source_file, capsys):
+        assert main(["watch", source_file, "--iterations", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "initial:" in out
+        assert "SCCs spliced" in out
+
+    def test_json_payload_shape(self, source_file, capsys):
+        import json
+
+        assert main(
+            ["watch", source_file, "--iterations", "0", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["command"] == "watch"
+        assert payload["events"][0]["edit"] is False
+        assert payload["stats"]["misses"].get("scc.document") == 1
+
+    def test_edit_event_reinfers_incrementally(self, source_file, capsys):
+        import json
+        import threading
+        import time
+        from pathlib import Path
+
+        path = Path(source_file)
+
+        def edit_soon():
+            time.sleep(0.3)
+            path.write_text(path.read_text().replace("t.v", "t.v + 0"))
+
+        editor = threading.Thread(target=edit_soon)
+        editor.start()
+        try:
+            assert main(
+                [
+                    "watch",
+                    source_file,
+                    "--iterations",
+                    "1",
+                    "--interval",
+                    "0.05",
+                    "--format",
+                    "json",
+                ]
+            ) == 0
+        finally:
+            editor.join()
+        payload = json.loads(capsys.readouterr().out)
+        assert [e["edit"] for e in payload["events"]] == [False, True]
+        assert payload["stats"]["hits"].get("scc.document") == 1
+
+    def test_parse_failure_on_initial_run_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cj"
+        bad.write_text("class {")
+        assert main(["watch", str(bad), "--iterations", "0"]) != 0
