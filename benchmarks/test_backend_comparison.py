@@ -2,65 +2,56 @@
 
 The Fig 9 workload is embarrassingly parallel — every Olden program infers
 independently — but the thread backend serialises the pure-Python engine
-on the GIL.  This benchmark times the same batch on both backends and
-asserts the process pool converts cores into wall-clock speedup.
+on the GIL.  The measurement (same batch on both backends, fresh
+sessions) lives in the registered ``backend_comparison`` family
+(:mod:`repro.bench.families.measure_backends`); this file is the pytest
+wrapper that runs that kernel and asserts via the spec's declared
+threshold, plus the functional half that runs everywhere.
 
-Needs real parallel hardware to mean anything: on fewer than four cores
-the pool-spawn and pickling overheads drown the signal, so the comparison
-*skips* (never fails) there and on single-core CI runners.
+Needs real parallel hardware to mean anything: the threshold declares
+``min_cores=4`` — on fewer cores the pool-spawn and pickling overheads
+drown the signal — so the comparison *skips* (never fails) there and on
+single-core CI runners.
 """
 
 import os
-import time
 
 import pytest
 
 from repro.api import Session
 from repro.bench import OLDEN_PROGRAMS
+from repro.bench.families import get_spec, measure_backends
 
+SPEC = get_spec("backend_comparison")
+THRESHOLD = SPEC.threshold("backend_speedup")
 CORES = os.cpu_count() or 1
-
-#: distinct sources (a trailing comment changes the hash) so neither
-#: backend can collapse the batch into cache hits
-SOURCES = [
-    program.source + f"\n// replica {i}\n"
-    for i in range(3)
-    for program in OLDEN_PROGRAMS.values()
-]
-
-
-def _wall_clock(**kwargs) -> float:
-    session = Session()
-    start = time.perf_counter()
-    results = session.infer_many(SOURCES, **kwargs)
-    elapsed = time.perf_counter() - start
-    assert len(results) == len(SOURCES)
-    return elapsed
 
 
 @pytest.mark.skipif(
-    CORES < 4,
-    reason=f"backend comparison needs >= 4 cores (have {CORES})",
+    not THRESHOLD.applicable(CORES),
+    reason=(
+        f"backend comparison needs >= {THRESHOLD.min_cores} cores "
+        f"(have {CORES})"
+    ),
 )
 def test_process_backend_beats_threads_on_multicore():
-    workers = min(CORES, 8)
-    thread_s = _wall_clock(backend="thread", max_workers=workers)
-    process_s = _wall_clock(backend="process", max_workers=workers)
-    speedup = thread_s / process_s
+    measured = measure_backends()
     print(
-        f"\nbackend comparison ({len(SOURCES)} programs, {workers} workers): "
-        f"thread {thread_s:.2f}s, process {process_s:.2f}s, "
-        f"speedup {speedup:.2f}x"
+        f"\nbackend comparison ({measured['programs']} programs, "
+        f"{measured['workers']} workers): thread {measured['thread_s']:.2f}s, "
+        f"process {measured['process_s']:.2f}s, "
+        f"speedup {measured['speedup']:.2f}x"
     )
-    assert speedup >= 1.5, (
-        f"process backend only {speedup:.2f}x faster than threads "
-        f"({process_s:.2f}s vs {thread_s:.2f}s) on {CORES} cores"
+    assert measured["speedup"] >= THRESHOLD.floor, (
+        f"process backend only {measured['speedup']:.2f}x faster than "
+        f"threads ({measured['process_s']:.2f}s vs "
+        f"{measured['thread_s']:.2f}s) on {CORES} cores"
     )
 
 
 def test_process_backend_functional_on_any_machine():
     """The correctness half runs everywhere, even where the perf half skips."""
-    batch = SOURCES[: len(OLDEN_PROGRAMS)]
+    batch = [program.source for program in OLDEN_PROGRAMS.values()]
     session = Session()
     results = session.infer_many(batch, backend="process", max_workers=2)
     assert len(results) == len(batch)

@@ -5,55 +5,39 @@ document fast path: one body edit in the four-program composite corpus
 (bisort + em3d + health + mst, 35 method SCCs) dirties a handful of
 SCCs; `reinfer_program` re-runs only those fixed points and splices the
 rest from the prior result.  The incremental path still pays the full
-re-parse, re-typecheck and graph diff — the ≥5x bar is end-to-end, not
-just the fixed-point share.
+re-parse, re-typecheck and graph diff — the speedup bar is end-to-end,
+not just the fixed-point share.
 
-Counters pin the mechanism deterministically; the one wall-clock
-assertion (min-of-rounds, ≥5x) is where a splice regression that stays
-*correct but slow* fails loudly.
+The measurement kernel and the bar both live in the registered
+``incremental_reinfer`` family (`repro.bench.families.measure_reinfer`,
+min-of-rounds with interleaved baseline/candidate execution so machine
+load can't sink one side); this file is the pytest wrapper that runs the
+same kernel and asserts via the spec's declared threshold, plus the
+functional pins (byte-identical splice, SCC counters) that no wall clock
+can express.
 
-Run as a script to emit a PKB-style sample file::
+Run as a script to emit a standalone PKB-style sample file, or prefer
+``repro bench publish`` for the multi-family artifact::
 
     PYTHONPATH=src python benchmarks/test_incremental_reinfer.py --output BENCH_7.json
 """
 
-import time
-
 from repro.bench.composite import composite_source, tweak_method_body
+from repro.bench.families import REINFER_EDIT, get_spec, measure_reinfer
+from repro.bench.pkb import Runner, host_metadata, SCHEMA_VERSION
 from repro.core import infer_source
 from repro.core.infer import reinfer_program
 from repro.frontend import parse_program
 from repro.lang.pretty import pretty_target
 
-#: single-site body edit: bisort's nextRandom multiplier
-EDIT = ("1103515245", "1103515246")
-
-SPEEDUP_FLOOR = 5.0
+SPEC = get_spec("incremental_reinfer")
+SPEEDUP_FLOOR = SPEC.threshold("speedup").floor
 ROUNDS = 5
 
 
 def _corpus():
     source = composite_source()
-    return source, tweak_method_body(source, *EDIT)
-
-
-def _paired_best(full_fn, incremental_fn, rounds=ROUNDS):
-    """min-of-rounds for both sides, measured back to back each round.
-
-    Interleaving means transient machine load (the rest of the benchmark
-    suite, CI neighbours) degrades both numerators alike instead of
-    sinking one side of the ratio.
-    """
-    best_full = best_incremental = float("inf")
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        full_fn()
-        t1 = time.perf_counter()
-        incremental_fn()
-        t2 = time.perf_counter()
-        best_full = min(best_full, t1 - t0)
-        best_incremental = min(best_incremental, t2 - t1)
-    return best_full, best_incremental
+    return source, tweak_method_body(source, *REINFER_EDIT)
 
 
 def test_full_inference_composite(benchmark):
@@ -81,76 +65,37 @@ def test_incremental_is_byte_identical():
 
 
 def test_edit_one_method_speedup_over_full():
-    """min-of-rounds wall clock: incremental must beat from-scratch ≥5x.
+    """The family's declared threshold, asserted through its own kernel.
 
     The margin is wide (observed ~8x locally) so scheduler noise cannot
     flake it while a regression that silently re-infers everything —
     e.g. a diff that over-dirties, or splices that stopped engaging —
     still fails.
     """
-    source, edited = _corpus()
-    prior = infer_source(source)
-    program = parse_program(edited)
-    full, incremental = _paired_best(
-        lambda: infer_source(edited),
-        lambda: reinfer_program(program, prior),
-    )
-    assert incremental * SPEEDUP_FLOOR <= full, (
-        f"incremental {incremental * 1000:.1f} ms vs full "
-        f"{full * 1000:.1f} ms: speedup {full / incremental:.1f}x "
-        f"< {SPEEDUP_FLOOR}x"
+    measured = measure_reinfer(rounds=ROUNDS)
+    assert measured["result"].reused_sccs > measured["result"].reinferred_sccs
+    assert measured["speedup"] >= SPEEDUP_FLOOR, (
+        f"incremental {measured['incremental_s'] * 1000:.1f} ms vs full "
+        f"{measured['full_s'] * 1000:.1f} ms: speedup "
+        f"{measured['speedup']:.1f}x < {SPEEDUP_FLOOR}x"
     )
 
 
 def build_report():
-    """Measure and shape the PKB-style sample payload (BENCH_7.json)."""
-    source, edited = _corpus()
-    prior = infer_source(source)
-    program = parse_program(edited)
-    result = reinfer_program(program, prior)
-    full, incremental = _paired_best(
-        lambda: infer_source(edited),
-        lambda: reinfer_program(program, prior),
-    )
-    now = time.time()
-    metadata = {
-        "corpus": "composite(bisort+em3d+health+mst)",
-        "edit": "one method body (bisort.nextRandom)",
-        "sccs_total": len(result.scc_keys),
-        "sccs_reused": result.reused_sccs,
-        "sccs_reinferred": result.reinferred_sccs,
-        "rounds": ROUNDS,
-    }
-    samples = [
-        {
-            "metric": "full_infer",
-            "value": round(full * 1000, 3),
-            "unit": "ms",
-            "timestamp": now,
-            "metadata": metadata,
-        },
-        {
-            "metric": "incremental_reinfer",
-            "value": round(incremental * 1000, 3),
-            "unit": "ms",
-            "timestamp": now,
-            "metadata": metadata,
-        },
-        {
-            "metric": "speedup",
-            "value": round(full / incremental, 2),
-            "unit": "x",
-            "timestamp": now,
-            "metadata": metadata,
-        },
-    ]
+    """Measure via the registered family; shape a standalone report."""
+    run = Runner().run(SPEC)
+    by_metric = {s.metric: s.value for s in run.samples}
     return {
-        "benchmark": "incremental_reinfer",
-        "samples": samples,
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": SPEC.name,
+        "host": host_metadata(),
+        "samples": [s.to_dict() for s in run.samples],
         "summary": {
-            "full_infer_ms": round(full * 1000, 3),
-            "incremental_reinfer_ms": round(incremental * 1000, 3),
-            "speedup_x": round(full / incremental, 2),
+            "full_infer_ms": round(by_metric["full_infer"], 3),
+            "incremental_reinfer_ms": round(
+                by_metric["incremental_reinfer"], 3
+            ),
+            "speedup_x": round(by_metric["speedup"], 2),
             "floor_x": SPEEDUP_FLOOR,
         },
     }

@@ -7,84 +7,55 @@ batch skips pool spawn, toolchain re-import *and* re-inference.  The
 baseline pays all three by closing the session (and its pool) between
 batches, exactly what every ``map_ordered_process`` call used to do.
 
-Like the backend comparison, the perf assertion needs real parallel
-hardware: below four cores pool-spawn noise drowns the signal, so the
-timing half *skips* (never fails) there.  The functional half — two
-batches, one pool, thread-identical results — runs everywhere.
+The measurement kernel lives in the registered ``pool_reuse`` family
+(:mod:`repro.bench.families.measure_pool_reuse`); this file wraps it and
+asserts via the spec's declared threshold.  Like the backend comparison,
+the perf assertion needs real parallel hardware — the threshold declares
+``min_cores=4`` — so the timing half *skips* (never fails) below that.
+The functional half — two batches, one pool, thread-identical results —
+runs everywhere.
 """
 
 import os
-import time
 
 import pytest
 
 from repro.api import Session
 from repro.bench import OLDEN_PROGRAMS
+from repro.bench.families import get_spec, measure_pool_reuse
 from repro.lang.pretty import pretty_target
 
+SPEC = get_spec("pool_reuse")
+THRESHOLD = SPEC.threshold("pool_reuse_speedup")
 CORES = os.cpu_count() or 1
-
-#: distinct sources (a trailing comment changes the hash) so the parent
-#: cache cannot collapse the batch before it reaches the pool
-SOURCES = [
-    program.source + f"\n// replica {i}\n"
-    for i in range(2)
-    for program in OLDEN_PROGRAMS.values()
-]
-
-
-def _persistent_repeat_seconds(workers: int) -> float:
-    """Wall time of the repeat batch on a session that keeps its pool."""
-    with Session() as session:
-        session.infer_many(SOURCES, backend="process", max_workers=workers)
-        session.clear_cache()  # the repeat must reach the (warm) workers
-        start = time.perf_counter()
-        results = session.infer_many(
-            SOURCES, backend="process", max_workers=workers
-        )
-        elapsed = time.perf_counter() - start
-        assert len(results) == len(SOURCES)
-        assert session.stats.event_count("pool.spawns") == 1
-    return elapsed
-
-
-def _fresh_pool_repeat_seconds(workers: int) -> float:
-    """Wall time of the repeat batch when every call spawns a new pool."""
-    with Session() as session:
-        session.infer_many(SOURCES, backend="process", max_workers=workers)
-    start = time.perf_counter()
-    with Session() as session:
-        results = session.infer_many(
-            SOURCES, backend="process", max_workers=workers
-        )
-        elapsed = time.perf_counter() - start
-        assert len(results) == len(SOURCES)
-    return elapsed
 
 
 @pytest.mark.skipif(
-    CORES < 4,
-    reason=f"pool-reuse comparison needs >= 4 cores (have {CORES})",
+    not THRESHOLD.applicable(CORES),
+    reason=(
+        f"pool-reuse comparison needs >= {THRESHOLD.min_cores} cores "
+        f"(have {CORES})"
+    ),
 )
 def test_persistent_pool_beats_per_call_spawn_on_repeat_batches():
-    workers = min(CORES, 8)
-    fresh_s = _fresh_pool_repeat_seconds(workers)
-    warm_s = _persistent_repeat_seconds(workers)
-    speedup = fresh_s / warm_s
+    measured = measure_pool_reuse()
+    assert measured["persistent_spawns"] == 1  # the repeat reused the pool
     print(
-        f"\npool reuse ({len(SOURCES)} programs, {workers} workers): "
-        f"fresh pool {fresh_s:.2f}s, persistent pool {warm_s:.2f}s, "
-        f"speedup {speedup:.2f}x"
+        f"\npool reuse ({measured['programs']} programs, "
+        f"{measured['workers']} workers): fresh pool "
+        f"{measured['fresh_s']:.2f}s, persistent pool "
+        f"{measured['persistent_s']:.2f}s, speedup {measured['speedup']:.2f}x"
     )
-    assert speedup >= 1.3, (
-        f"persistent pool only {speedup:.2f}x faster than per-call spawn "
-        f"({warm_s:.2f}s vs {fresh_s:.2f}s) on {CORES} cores"
+    assert measured["speedup"] >= THRESHOLD.floor, (
+        f"persistent pool only {measured['speedup']:.2f}x faster than "
+        f"per-call spawn ({measured['persistent_s']:.2f}s vs "
+        f"{measured['fresh_s']:.2f}s) on {CORES} cores"
     )
 
 
 def test_repeat_batches_share_one_pool_on_any_machine():
     """The functional half runs everywhere, even where the perf half skips."""
-    batch = SOURCES[: len(OLDEN_PROGRAMS)]
+    batch = [program.source for program in OLDEN_PROGRAMS.values()]
     thread = Session().infer_many(batch, max_workers=2)
     with Session() as session:
         first = session.infer_many(batch, backend="process", max_workers=2)

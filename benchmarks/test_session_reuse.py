@@ -4,28 +4,26 @@ The :class:`repro.api.Session` cache keys the config-independent pipeline
 prefix (parse, normal typing, class annotation) by source hash, so an
 ablation sweep — the same program inferred under several
 :class:`InferenceConfig`\\ s — pays for that prefix once.  A cold loop over
-``infer_source`` re-parses and re-annotates per config.  This benchmark
-pins both the wall-clock win and, deterministically, the cache behaviour
-behind it.
+``infer_source`` re-parses and re-annotates per config.
+
+The sweep configs and the interleaved min-of-rounds measurement live in
+the registered ``session_reuse`` family
+(:mod:`repro.bench.families.measure_session_sweep`); this file wraps the
+same kernel, asserts the wall clock via the spec's declared threshold,
+and pins the deterministic cache behaviour behind the win.
 """
-
-import time
-
-import pytest
 
 from repro.api import Session
 from repro.bench import REGJAVA_PROGRAMS
-from repro.core import InferenceConfig, SubtypingMode, infer_source
+from repro.bench.families import SWEEP_CONFIGS, get_spec, measure_session_sweep
+from repro.core import infer_source
 
-#: the standard ablation sweep: three subtyping modes + no-letreg
-CONFIGS = (
-    InferenceConfig(mode=SubtypingMode.NONE),
-    InferenceConfig(mode=SubtypingMode.OBJECT),
-    InferenceConfig(mode=SubtypingMode.FIELD),
-    InferenceConfig(mode=SubtypingMode.FIELD, localize_blocks=False),
-)
+SPEC = get_spec("session_reuse")
 
 PROGRAM = REGJAVA_PROGRAMS["reynolds3"]
+
+#: the standard ablation sweep: three subtyping modes + no-letreg
+CONFIGS = SWEEP_CONFIGS()
 
 
 def cold_sweep():
@@ -54,19 +52,14 @@ def test_session_sweep_beats_cold_sweep():
     """min-of-5 wall clock: the cached sweep must not lose to the cold loop.
 
     The deterministic part of the claim (parse/annotate computed once) is
-    asserted via counters above; the timing assertion keeps a small margin
-    so scheduler noise cannot flake it while a real regression — e.g. the
+    asserted via counters above; the spec's floor keeps a small margin so
+    scheduler noise cannot flake it while a real regression — e.g. the
     session rebuilding artifacts per config — still fails loudly.
     """
-
-    def best(fn, rounds=5):
-        times = []
-        for _ in range(rounds):
-            t0 = time.perf_counter()
-            fn()
-            times.append(time.perf_counter() - t0)
-        return min(times)
-
-    cold = best(cold_sweep)
-    warm = best(session_sweep)
-    assert warm < cold * 1.05, (warm, cold)
+    floor = SPEC.threshold("sweep_speedup").floor
+    measured = measure_session_sweep(rounds=5)
+    assert measured["speedup"] >= floor, (
+        f"session sweep {measured['warm_s'] * 1000:.1f} ms vs cold "
+        f"{measured['cold_s'] * 1000:.1f} ms: "
+        f"{measured['speedup']:.2f}x < {floor}x"
+    )

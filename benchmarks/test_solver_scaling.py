@@ -9,66 +9,42 @@ the incremental delta-propagation maintenance is what keeps the
 *alternating* add/query family (the checker's letreg workload) from
 paying a full rebuild per mutation burst.
 
+The constraint builders, the alternating workload and the wall-clock
+ratio all live in the registered ``solver_scaling`` family
+(:mod:`repro.bench.families`), which is what ``repro bench publish``
+measures; this file parametrises the same builders into pytest-benchmark
+timing tables and asserts the one ratio claim via the family's declared
+threshold, plus the solver-stats pins that no wall clock can express.
+
 The default sizes are smoke-mode: small enough for every CI run, large
 enough that a quadratic regression in ``close``/``entails``/``project``
 is plainly visible in the timing columns.
-``test_alternating_speedup_over_rebuild`` is the one test that asserts a
-wall-clock ratio — incremental maintenance vs. the ``incremental=False``
-rebuild-per-burst baseline on the identical operation sequence — with a
-margin far under the ~30-100x actually observed.
 """
-
-import time
 
 import pytest
 
+from repro.bench.families import (
+    CONSTRAINT_FAMILIES,
+    alternating_workload,
+    constraint_bundles,
+    get_spec,
+    measure_alternating,
+)
 from repro.regions import (
     Constraint,
-    HEAP,
     Outlives,
     Region,
     RegionSolver,
 )
 
-# ---------------------------------------------------------------------------
-# constraint families
-# ---------------------------------------------------------------------------
+SPEC = get_spec("solver_scaling")
 
-
-def _chain(n):
-    """r0 >= r1 >= ... >= rn."""
-    regions = Region.fresh_many(n + 1)
-    atoms = [Outlives(a, b) for a, b in zip(regions, regions[1:])]
-    return regions, Constraint.of(*atoms)
+_chain = CONSTRAINT_FAMILIES["chain"]
 
 
 def _cycle(n):
     regions = Region.fresh_many(n)
     atoms = [Outlives(a, b) for a, b in zip(regions, regions[1:])]
-    atoms.append(Outlives(regions[-1], regions[0]))
-    return regions, Constraint.of(*atoms)
-
-
-def _grid(side):
-    """A side x side grid with right/down outlives edges (many diamonds)."""
-    cells = [[Region.fresh() for _ in range(side)] for _ in range(side)]
-    atoms = []
-    for y in range(side):
-        for x in range(side):
-            if x + 1 < side:
-                atoms.append(Outlives(cells[y][x], cells[y][x + 1]))
-            if y + 1 < side:
-                atoms.append(Outlives(cells[y][x], cells[y + 1][x]))
-    regions = [r for row in cells for r in row]
-    return regions, Constraint.of(*atoms)
-
-
-def _clique(n):
-    """Every ordered pair: one giant SCC that collapses to a single class."""
-    regions = Region.fresh_many(n)
-    atoms = [
-        Outlives(a, b) for i, a in enumerate(regions) for b in regions[i + 1 :]
-    ]
     atoms.append(Outlives(regions[-1], regions[0]))
     return regions, Constraint.of(*atoms)
 
@@ -87,12 +63,6 @@ CLOSE_PROJECT_CASES = [
     ("clique", 80),
     ("clique", 160),
 ]
-
-FAMILIES = {
-    "chain": _chain,
-    "grid": lambda n: _grid(max(2, int(n**0.5))),
-    "clique": _clique,
-}
 
 
 def _interface(regions, k=16):
@@ -134,7 +104,7 @@ def test_cycle_coalescing(benchmark, n):
 @pytest.mark.parametrize("family,n", CLOSE_PROJECT_CASES)
 def test_close_project(benchmark, family, n):
     """The fig-8/9 hot path: build, close, project onto an interface."""
-    regions, constraint = FAMILIES[family](n)
+    regions, constraint = CONSTRAINT_FAMILIES[family](n)
     interface = _interface(regions)
 
     def run():
@@ -190,42 +160,13 @@ def test_projection(benchmark, n):
 # best case for delta propagation (which walks <= bundle_size ancestors).
 
 
-def _bundles(n, bundle_size=8):
-    regions = Region.fresh_many(n)
-    return [
-        regions[i : i + bundle_size] for i in range(0, n, bundle_size)
-    ]
-
-
-def _alternating_workload(solver, bundles):
-    """One edge add, then a query burst, round-robin across bundles.
-
-    Returns the query answers so callers can differentially compare two
-    solver configurations on the identical operation sequence.
-    """
-    answers = []
-    # prime the (empty) cache so every add exercises maintenance
-    answers.append(solver.entails_outlives(bundles[0][0], bundles[0][-1]))
-    for depth in range(len(bundles[0]) - 1):
-        for i, bundle in enumerate(bundles):
-            if depth + 1 >= len(bundle):
-                continue
-            solver.add_outlives(bundle[depth], bundle[depth + 1])
-            other = bundles[(i + 1) % len(bundles)]
-            answers.append(solver.entails_outlives(bundle[0], bundle[depth + 1]))
-            answers.append(solver.entails_outlives(bundle[depth + 1], bundle[0]))
-            answers.append(solver.entails_outlives(bundle[0], other[0]))
-            answers.append(solver.entails_outlives(HEAP, bundle[depth]))
-    return answers
-
-
 @pytest.mark.parametrize("n", [200, 1000])
 def test_alternating_add_query(benchmark, n):
     """Timing-table entry for the letreg-shaped workload (incremental)."""
 
     def run():
         solver = RegionSolver()
-        return solver, _alternating_workload(solver, _bundles(n))
+        return solver, alternating_workload(solver, constraint_bundles(n))
 
     solver, answers = benchmark(run)
     # every add after the priming query was absorbed without a rebuild
@@ -236,35 +177,25 @@ def test_alternating_add_query(benchmark, n):
 
 
 def test_alternating_speedup_over_rebuild():
-    """The acceptance bar: >=5x over rebuild-per-burst at 1k regions.
+    """The family's declared threshold, through its own measurement kernel.
 
-    Both solvers run the identical operation sequence; the baseline is the
-    same solver class with incremental maintenance disabled, i.e. exactly
-    the old invalidate-and-rebuild behaviour.  Observed ratio is ~30-100x,
-    so the 5x assertion leaves generous room for CI noise.
+    Both solvers run the identical operation sequence; the baseline is
+    the same solver class with incremental maintenance disabled, i.e.
+    exactly the old invalidate-and-rebuild behaviour.  Observed ratio is
+    ~30-100x, so the declared floor leaves generous room for CI noise.
     """
-    n = 1000
-
-    def best_of(factory, rounds=2):
-        results = []
-        for _ in range(rounds):
-            solver = factory()
-            t0 = time.perf_counter()
-            answers = _alternating_workload(solver, _bundles(n))
-            results.append((time.perf_counter() - t0, solver, answers))
-        return min(results, key=lambda r: r[0])
-
-    inc_time, inc, inc_answers = best_of(lambda: RegionSolver())
-    reb_time, reb, reb_answers = best_of(
-        lambda: RegionSolver(incremental=False)
-    )
-    assert inc_answers == reb_answers, "incremental solver changed answers"
+    floor = SPEC.threshold("alternating_speedup").floor
+    measured = measure_alternating(rounds=2)
+    n = measured["regions"]
+    inc = measured["incremental_solver"]
+    reb = measured["rebuild_solver"]
+    assert measured["answers_match"], "incremental solver changed answers"
     assert inc.stats.full_rebuilds == 1
-    assert inc.stats.incremental_edges == n - len(_bundles(n))
+    assert inc.stats.incremental_edges == n - len(constraint_bundles(n))
     assert reb.stats.incremental_hits == 0
     assert reb.stats.full_rebuilds > 100  # one rebuild per mutation burst
-    assert reb_time >= 5 * inc_time, (
-        f"incremental maintenance too slow: {inc_time:.4f}s vs "
-        f"rebuild-per-burst {reb_time:.4f}s "
-        f"({reb_time / inc_time:.1f}x, need >=5x)"
+    assert measured["speedup"] >= floor, (
+        f"incremental maintenance too slow: {measured['incremental_s']:.4f}s "
+        f"vs rebuild-per-burst {measured['rebuild_s']:.4f}s "
+        f"({measured['speedup']:.1f}x, need >={floor}x)"
     )

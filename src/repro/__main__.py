@@ -10,6 +10,10 @@ Commands (all built on the staged :mod:`repro.api` pipeline):
 * ``batch FILE...`` -- batch inference over many files on a worker pool
 * ``watch FILE``   -- re-infer incrementally on every change to the file,
   printing per-edit latency and SCC splice/re-infer counts
+* ``bench list|run|publish|compare`` -- the staged benchmark subsystem:
+  run the registered families, publish the next schema-versioned
+  ``BENCH_<n>.json`` sample file, and gate on per-metric regressions
+  between two published files (:mod:`repro.bench.pkb`)
 * ``fig8`` / ``fig9`` -- regenerate the paper's evaluation tables
 * ``serve``        -- the multi-tenant HTTP inference daemon
   (:mod:`repro.serve`; see ``docs/serving.md``)
@@ -439,6 +443,117 @@ def cmd_loadgen(args: argparse.Namespace, session: Session) -> int:
     return EXIT_OK if summary["total_failed"] == 0 else EXIT_ERROR
 
 
+def _bench_specs(args: argparse.Namespace) -> List[Any]:
+    """The specs a bench subcommand operates on (all, or --families)."""
+    from .bench import families as bench_families
+
+    names = getattr(args, "families", None) or bench_families.family_names()
+    return [bench_families.get_spec(name) for name in names]
+
+
+def cmd_bench(args: argparse.Namespace, session: Session) -> int:
+    from .bench import pkb
+
+    if args.bench_command == "list":
+        from .bench import families as bench_families
+
+        specs = [
+            bench_families.get_spec(name)
+            for name in bench_families.family_names()
+        ]
+        payload = {
+            "ok": True,
+            "command": "bench list",
+            "families": [
+                {
+                    "name": spec.name,
+                    "description": spec.description,
+                    "key_fields": list(spec.key_fields),
+                    "thresholds": [
+                        {
+                            "metric": t.metric,
+                            "floor": t.floor,
+                            "ceiling": t.ceiling,
+                            "min_cores": t.min_cores,
+                        }
+                        for t in spec.thresholds
+                    ],
+                }
+                for spec in specs
+            ],
+            "diagnostics": [],
+        }
+        lines = []
+        for spec in specs:
+            bars = ", ".join(
+                f"{t.metric}>={t.floor:g}" if t.floor is not None
+                else f"{t.metric}<={t.ceiling:g}"
+                for t in spec.thresholds
+            )
+            lines.append(f"{spec.name:22s} {spec.description}")
+            if bars:
+                lines.append(f"{'':22s} threshold: {bars}")
+        _emit(args, payload, "\n".join(lines))
+        return EXIT_OK
+
+    if args.bench_command in ("run", "publish"):
+        specs = _bench_specs(args)
+        runner = pkb.Runner()
+        runs, violations, lines = [], [], []
+        for spec in specs:
+            run = runner.run(spec, smoke=args.smoke)
+            runs.append(run)
+            broken = run.violations
+            violations.extend(f"{spec.name}: {v}" for v in broken)
+            lines.append(
+                f"{spec.name:22s} {len(run.samples):3d} samples in "
+                f"{run.elapsed:6.2f}s"
+                + (f"  THRESHOLD FAILED ({len(broken)})" if broken else "")
+            )
+            if args.bench_command == "run":
+                for s in run.samples:
+                    meta = ", ".join(f"{k}={v}" for k, v in s.metadata)
+                    lines.append(
+                        f"  {s.metric:24s} {s.value:12.3f} {s.unit:10s} {meta}"
+                    )
+        output = None
+        if args.bench_command == "publish":
+            output = args.output or str(pkb.next_bench_path())
+        report = pkb.publish(runs, output, smoke=args.smoke)
+        if output:
+            lines.append(
+                f"wrote {output} ({len(report['samples'])} samples, "
+                f"{len(runs)} families)"
+            )
+        lines.extend(f"THRESHOLD: {v}" for v in violations)
+        payload = {
+            "ok": not violations,
+            "command": f"bench {args.bench_command}",
+            "report": report,
+            "violations": violations,
+            "output": output,
+            "diagnostics": [],
+        }
+        _emit(args, payload, "\n".join(lines))
+        return EXIT_CHECK_FAILED if violations else EXIT_OK
+
+    if args.bench_command == "compare":
+        comparison = pkb.compare(args.baseline, args.candidate)
+        payload = {
+            "command": "bench compare",
+            **comparison.to_dict(),
+            "diagnostics": [],
+        }
+        _emit(
+            args,
+            payload,
+            pkb.format_comparison(comparison, verbose=args.verbose),
+        )
+        return EXIT_OK if comparison.ok else EXIT_CHECK_FAILED
+
+    raise AssertionError(f"unknown bench subcommand {args.bench_command!r}")
+
+
 def cmd_fig8(args: argparse.Namespace, session: Session) -> int:
     rows = fig8_rows(
         quick=args.quick,
@@ -715,6 +830,81 @@ def build_parser() -> argparse.ArgumentParser:
     pool(p_loadgen)
     output(p_loadgen)
     p_loadgen.set_defaults(func=cmd_loadgen)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run, publish and compare the benchmark families",
+        description="The PKB-style staged benchmark subsystem: every "
+        "family emits metadata-rich timestamped samples; `publish` "
+        "writes the next schema-versioned BENCH_<n>.json and `compare` "
+        "gates on per-metric regressions (see docs/benchmarks.md).",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    b_list = bench_sub.add_parser(
+        "list", help="list the registered benchmark families"
+    )
+    output(b_list)
+    b_list.set_defaults(func=cmd_bench)
+
+    def bench_run_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--smoke",
+            action="store_true",
+            help="per-family smoke sizes (CI-fast; every family still "
+            "emits at least one sample)",
+        )
+        p.add_argument(
+            "--families",
+            nargs="+",
+            default=None,
+            metavar="NAME",
+            help="only these families (default: all registered)",
+        )
+        output(p)
+
+    b_run = bench_sub.add_parser(
+        "run",
+        help="run families and print their samples",
+        description="Runs each family through its provision/prepare/run/"
+        "teardown stages and checks its declared thresholds (exit 1 on "
+        "a violation).",
+    )
+    bench_run_args(b_run)
+    b_run.set_defaults(func=cmd_bench)
+
+    b_publish = bench_sub.add_parser(
+        "publish",
+        help="run families and write the next BENCH_<n>.json",
+        description="Writes a schema-versioned multi-family sample file "
+        "with host metadata; exit 1 if any family's threshold fails "
+        "(the file is still written).",
+    )
+    b_publish.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="destination (default: the next unclaimed BENCH_<n>.json)",
+    )
+    bench_run_args(b_publish)
+    b_publish.set_defaults(func=cmd_bench)
+
+    b_compare = bench_sub.add_parser(
+        "compare",
+        help="diff two published sample files, gating on regressions",
+        description="Per-metric diff with per-family tolerance: exit 1 "
+        "when any gated metric regresses beyond its tolerance.  Legacy "
+        "single-family BENCH files load too.",
+    )
+    b_compare.add_argument("baseline", help="the older published file")
+    b_compare.add_argument("candidate", help="the newer published file")
+    b_compare.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show every compared metric, not just warnings/regressions",
+    )
+    output(b_compare)
+    b_compare.set_defaults(func=cmd_bench)
 
     p8 = sub.add_parser("fig8", help="regenerate the Fig 8 table")
     p8.add_argument("--quick", action="store_true")

@@ -1,0 +1,698 @@
+"""Every benchmark family, registered as a :class:`BenchmarkSpec`.
+
+One catalog for everything the repo measures about itself: the solver
+scaling families, the backend/pool/session amortisation claims, the
+paper's fig8/fig9 tables, the serving loadgen sweep and the incremental
+re-inference benchmark all publish through the same staged runner (see
+:mod:`repro.bench.pkb` and ``docs/benchmarks.md``).
+
+Each family declares
+
+* ``smoke`` vs full parameter sets (smoke keeps the whole CI publish
+  under ~3 minutes while still emitting at least one sample per family);
+* ``key_fields`` — the metadata that identifies a sample across
+  published files;
+* ``thresholds`` — the floors the repo's perf claims stand on
+  (re-asserted verbatim by the pytest wrappers in ``benchmarks/``);
+* ``rules`` — how ``repro bench compare`` judges each metric.
+
+The ``measure_*`` functions are the shared measurement kernels: the
+specs' run stages build samples from them, and the pytest-benchmark
+wrappers call the same functions so the CLI and the test suite can
+never measure two different things.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .pkb import (
+    BenchmarkSpec,
+    MetricRule,
+    RunContext,
+    Sample,
+    Threshold,
+    best_of,
+    interleaved_best,
+    sample,
+)
+
+__all__ = [
+    "register",
+    "get_spec",
+    "registered_specs",
+    "family_names",
+    "measure_close_project",
+    "measure_alternating",
+    "measure_backends",
+    "measure_pool_reuse",
+    "measure_session_sweep",
+    "measure_reinfer",
+    "SWEEP_CONFIGS",
+    "alternating_workload",
+    "constraint_bundles",
+    "CONSTRAINT_FAMILIES",
+]
+
+_REGISTRY: Dict[str, BenchmarkSpec] = {}
+
+
+def register(spec: BenchmarkSpec) -> BenchmarkSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"benchmark family {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> BenchmarkSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark family {name!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_specs() -> Dict[str, BenchmarkSpec]:
+    return dict(_REGISTRY)
+
+
+def family_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# =====================================================================
+# solver_scaling: synthetic constraint families through the region solver
+# =====================================================================
+def _chain(n):
+    from ..regions import Constraint, Outlives, Region
+
+    regions = Region.fresh_many(n + 1)
+    atoms = [Outlives(a, b) for a, b in zip(regions, regions[1:])]
+    return regions, Constraint.of(*atoms)
+
+
+def _grid(side):
+    from ..regions import Constraint, Outlives, Region
+
+    cells = [[Region.fresh() for _ in range(side)] for _ in range(side)]
+    atoms = []
+    for y in range(side):
+        for x in range(side):
+            if x + 1 < side:
+                atoms.append(Outlives(cells[y][x], cells[y][x + 1]))
+            if y + 1 < side:
+                atoms.append(Outlives(cells[y][x], cells[y + 1][x]))
+    regions = [r for row in cells for r in row]
+    return regions, Constraint.of(*atoms)
+
+
+def _clique(n):
+    from ..regions import Constraint, Outlives, Region
+
+    regions = Region.fresh_many(n)
+    atoms = [
+        Outlives(a, b) for i, a in enumerate(regions) for b in regions[i + 1 :]
+    ]
+    atoms.append(Outlives(regions[-1], regions[0]))
+    return regions, Constraint.of(*atoms)
+
+
+#: shape name -> builder taking the *region count* (grids take the square
+#: root so every shape is parameterised the same way)
+CONSTRAINT_FAMILIES: Dict[str, Callable[[int], Any]] = {
+    "chain": _chain,
+    "grid": lambda n: _grid(max(2, int(n**0.5))),
+    "clique": _clique,
+}
+
+#: (shape, regions) for the close+project hot path; cliques get their own
+#: smaller sizes (edge count is quadratic in the region count)
+CLOSE_PROJECT_FULL = [
+    ("chain", 100), ("chain", 400), ("chain", 1000),
+    ("grid", 100), ("grid", 400), ("grid", 1000),
+    ("clique", 40), ("clique", 80), ("clique", 160),
+]
+CLOSE_PROJECT_SMOKE = [("chain", 100), ("grid", 100), ("clique", 40)]
+
+#: the alternating add/query workload always runs at full size — it is
+#: cheap, and keeping the size fixed means smoke and full publishes
+#: produce the *same* sample key, so CI can gate the speedup across them
+ALTERNATING_REGIONS = 1000
+
+
+def _interface(regions, k=16):
+    stride = max(1, len(regions) // k)
+    return list(regions)[::stride]
+
+
+def measure_close_project(shape: str, n: int, rounds: int = 3) -> float:
+    """Min-of-rounds seconds for build + close + project on one family."""
+    regions, constraint = CONSTRAINT_FAMILIES[shape](n)
+    interface = _interface(regions)
+    from ..regions import RegionSolver
+
+    def run():
+        solver = RegionSolver(constraint)
+        solver.close()
+        return solver.project(interface)
+
+    return best_of(run, rounds)
+
+
+def constraint_bundles(n, bundle_size=8):
+    """Independent short chains — per-method scopes off shared invariants."""
+    from ..regions import Region
+
+    regions = Region.fresh_many(n)
+    return [regions[i : i + bundle_size] for i in range(0, n, bundle_size)]
+
+
+def alternating_workload(solver, bundles):
+    """One edge add, then a query burst, round-robin across bundles.
+
+    Returns the query answers so callers can differentially compare two
+    solver configurations on the identical operation sequence.
+    """
+    from ..regions import HEAP
+
+    answers = []
+    # prime the (empty) cache so every add exercises maintenance
+    answers.append(solver.entails_outlives(bundles[0][0], bundles[0][-1]))
+    for depth in range(len(bundles[0]) - 1):
+        for i, bundle in enumerate(bundles):
+            if depth + 1 >= len(bundle):
+                continue
+            solver.add_outlives(bundle[depth], bundle[depth + 1])
+            other = bundles[(i + 1) % len(bundles)]
+            answers.append(solver.entails_outlives(bundle[0], bundle[depth + 1]))
+            answers.append(solver.entails_outlives(bundle[depth + 1], bundle[0]))
+            answers.append(solver.entails_outlives(bundle[0], other[0]))
+            answers.append(solver.entails_outlives(HEAP, bundle[depth]))
+    return answers
+
+
+def measure_alternating(
+    n: int = ALTERNATING_REGIONS, rounds: int = 2
+) -> Dict[str, Any]:
+    """Incremental maintenance vs rebuild-per-burst, interleaved rounds.
+
+    The baseline is the same solver class with incremental maintenance
+    disabled — exactly the old invalidate-and-rebuild behaviour — run on
+    the identical operation sequence.
+    """
+    from ..regions import RegionSolver
+
+    last: Dict[str, Any] = {}
+
+    def run_rebuild():
+        solver = RegionSolver(incremental=False)
+        answers = alternating_workload(solver, constraint_bundles(n))
+        last["rebuild"] = (solver, answers)
+
+    def run_incremental():
+        solver = RegionSolver()
+        answers = alternating_workload(solver, constraint_bundles(n))
+        last["incremental"] = (solver, answers)
+
+    rebuild_s, incremental_s = interleaved_best(
+        run_rebuild, run_incremental, rounds
+    )
+    inc_solver, inc_answers = last["incremental"]
+    reb_solver, reb_answers = last["rebuild"]
+    return {
+        "regions": n,
+        "incremental_s": incremental_s,
+        "rebuild_s": rebuild_s,
+        "speedup": rebuild_s / incremental_s,
+        "answers_match": inc_answers == reb_answers,
+        "incremental_solver": inc_solver,
+        "rebuild_solver": reb_solver,
+    }
+
+
+def _solver_prepare(ctx: RunContext) -> None:
+    ctx.state["cases"] = (
+        CLOSE_PROJECT_SMOKE if ctx.smoke else CLOSE_PROJECT_FULL
+    )
+    ctx.state["rounds"] = 2 if ctx.smoke else 3
+
+
+def _solver_run(ctx: RunContext) -> List[Sample]:
+    samples: List[Sample] = []
+    rounds = ctx.state["rounds"]
+    for shape, n in ctx.state["cases"]:
+        seconds = measure_close_project(shape, n, rounds)
+        samples.append(
+            sample(
+                "close_project",
+                seconds * 1000.0,
+                "ms",
+                {"shape": shape, "regions": n, "rounds": rounds},
+            )
+        )
+    alt = measure_alternating(rounds=rounds)
+    meta = {"regions": alt["regions"], "bundle": 8, "rounds": rounds}
+    samples.append(
+        sample("alternating_incremental", alt["incremental_s"] * 1000, "ms", meta)
+    )
+    samples.append(
+        sample("alternating_rebuild", alt["rebuild_s"] * 1000, "ms", meta)
+    )
+    samples.append(sample("alternating_speedup", alt["speedup"], "x", meta))
+    return samples
+
+
+register(
+    BenchmarkSpec(
+        name="solver_scaling",
+        description="Region-solver close+project scaling (chain/grid/clique) "
+        "and incremental maintenance vs rebuild-per-burst on the "
+        "alternating add/query workload",
+        prepare=_solver_prepare,
+        run=_solver_run,
+        key_fields=("shape", "regions"),
+        thresholds=(Threshold("alternating_speedup", floor=5.0),),
+        rules={
+            "alternating_speedup": MetricRule(
+                direction="higher", tolerance=0.8, portable=True
+            )
+        },
+    )
+)
+
+
+# =====================================================================
+# incremental_reinfer: SCC-granular re-inference vs from-scratch
+# =====================================================================
+#: single-site body edit: bisort's nextRandom multiplier
+REINFER_EDIT = ("1103515245", "1103515246")
+REINFER_CORPUS = "composite(bisort+em3d+health+mst)"
+REINFER_EDIT_LABEL = "one method body (bisort.nextRandom)"
+
+
+def measure_reinfer(rounds: int = 5) -> Dict[str, Any]:
+    """Edit-one-method: full inference vs SCC splice, interleaved."""
+    from ..core import infer_source
+    from ..core.infer import reinfer_program
+    from ..frontend import parse_program
+    from .composite import composite_source, tweak_method_body
+
+    source = composite_source()
+    edited = tweak_method_body(source, *REINFER_EDIT)
+    prior = infer_source(source)
+    program = parse_program(edited)
+    result = reinfer_program(program, prior)
+    full_s, incremental_s = interleaved_best(
+        lambda: infer_source(edited),
+        lambda: reinfer_program(program, prior),
+        rounds,
+    )
+    return {
+        "full_s": full_s,
+        "incremental_s": incremental_s,
+        "speedup": full_s / incremental_s,
+        "result": result,
+        "rounds": rounds,
+    }
+
+
+def _reinfer_run(ctx: RunContext) -> List[Sample]:
+    rounds = 2 if ctx.smoke else 5
+    measured = measure_reinfer(rounds)
+    result = measured["result"]
+    meta = {
+        "corpus": REINFER_CORPUS,
+        "edit": REINFER_EDIT_LABEL,
+        "sccs_total": len(result.scc_keys),
+        "sccs_reused": result.reused_sccs,
+        "sccs_reinferred": result.reinferred_sccs,
+        "rounds": rounds,
+    }
+    return [
+        sample("full_infer", measured["full_s"] * 1000, "ms", meta),
+        sample(
+            "incremental_reinfer", measured["incremental_s"] * 1000, "ms", meta
+        ),
+        sample("speedup", measured["speedup"], "x", meta),
+    ]
+
+
+register(
+    BenchmarkSpec(
+        name="incremental_reinfer",
+        description="Edit-one-method SCC-granular incremental re-inference "
+        "vs from-scratch on the composite corpus",
+        run=_reinfer_run,
+        key_fields=("corpus", "edit"),
+        thresholds=(Threshold("speedup", floor=5.0),),
+        rules={
+            "speedup": MetricRule(
+                direction="higher", tolerance=0.6, portable=True
+            )
+        },
+    )
+)
+
+
+# =====================================================================
+# backend_comparison: process pool vs the GIL on the Olden batch
+# =====================================================================
+def _replicated_olden(replicas: int) -> List[str]:
+    """Distinct sources (a trailing comment changes the hash) so neither
+    backend can collapse the batch into cache hits."""
+    from .olden import OLDEN_PROGRAMS
+
+    return [
+        program.source + f"\n// replica {i}\n"
+        for i in range(replicas)
+        for program in OLDEN_PROGRAMS.values()
+    ]
+
+
+def _batch_workers() -> int:
+    from ..api.executor import available_cpus
+
+    return min(max(available_cpus(), 2), 8)
+
+
+def measure_backends(
+    replicas: int = 3, workers: Optional[int] = None
+) -> Dict[str, Any]:
+    """Same batch, thread backend then process backend, fresh sessions."""
+    from ..api import Session
+
+    sources = _replicated_olden(replicas)
+    workers = workers or _batch_workers()
+    timings = {}
+    for backend in ("thread", "process"):
+        with Session() as session:
+            start = time.perf_counter()
+            results = session.infer_many(
+                sources, backend=backend, max_workers=workers
+            )
+            timings[backend] = time.perf_counter() - start
+            assert len(results) == len(sources)
+    return {
+        "programs": len(sources),
+        "workers": workers,
+        "thread_s": timings["thread"],
+        "process_s": timings["process"],
+        "speedup": timings["thread"] / timings["process"],
+    }
+
+
+def _backend_run(ctx: RunContext) -> List[Sample]:
+    measured = measure_backends(replicas=2 if ctx.smoke else 3)
+    from ..api.executor import available_cpus
+
+    meta = {
+        "corpus": "olden-replicated",
+        "programs": measured["programs"],
+        "workers": measured["workers"],
+        "cores": available_cpus(),
+    }
+    return [
+        sample("thread_batch", measured["thread_s"], "s", meta),
+        sample("process_batch", measured["process_s"], "s", meta),
+        sample("backend_speedup", measured["speedup"], "x", meta),
+    ]
+
+
+register(
+    BenchmarkSpec(
+        name="backend_comparison",
+        description="infer_many on the replicated Olden batch: thread "
+        "backend (GIL-bound) vs the multi-core process pool",
+        run=_backend_run,
+        key_fields=("corpus", "programs", "workers"),
+        thresholds=(Threshold("backend_speedup", floor=1.5, min_cores=4),),
+        rules={"backend_speedup": MetricRule(direction="higher", tolerance=0.5)},
+    )
+)
+
+
+# =====================================================================
+# pool_reuse: persistent worker pools vs per-call spawn
+# =====================================================================
+def measure_pool_reuse(
+    replicas: int = 2, workers: Optional[int] = None
+) -> Dict[str, Any]:
+    """Repeat process-backend batch: one persistent pool vs fresh pools."""
+    from ..api import Session
+
+    sources = _replicated_olden(replicas)
+    workers = workers or _batch_workers()
+
+    # persistent: one session keeps its executor across both batches
+    with Session() as session:
+        session.infer_many(sources, backend="process", max_workers=workers)
+        session.clear_cache()  # the repeat must reach the (warm) workers
+        start = time.perf_counter()
+        results = session.infer_many(
+            sources, backend="process", max_workers=workers
+        )
+        persistent_s = time.perf_counter() - start
+        assert len(results) == len(sources)
+        spawns = session.stats.event_count("pool.spawns")
+
+    # fresh: the repeat pays pool spawn, re-import and re-inference
+    with Session() as session:
+        session.infer_many(sources, backend="process", max_workers=workers)
+    start = time.perf_counter()
+    with Session() as session:
+        results = session.infer_many(
+            sources, backend="process", max_workers=workers
+        )
+        fresh_s = time.perf_counter() - start
+        assert len(results) == len(sources)
+
+    return {
+        "programs": len(sources),
+        "workers": workers,
+        "persistent_s": persistent_s,
+        "fresh_s": fresh_s,
+        "speedup": fresh_s / persistent_s,
+        "persistent_spawns": spawns,
+    }
+
+
+def _pool_run(ctx: RunContext) -> List[Sample]:
+    measured = measure_pool_reuse(replicas=1 if ctx.smoke else 2)
+    meta = {
+        "corpus": "olden-replicated",
+        "programs": measured["programs"],
+        "workers": measured["workers"],
+    }
+    return [
+        sample("fresh_pool_batch", measured["fresh_s"], "s", meta),
+        sample("persistent_pool_batch", measured["persistent_s"], "s", meta),
+        sample("pool_reuse_speedup", measured["speedup"], "x", meta),
+    ]
+
+
+register(
+    BenchmarkSpec(
+        name="pool_reuse",
+        description="Repeat process-backend batches: session-persistent "
+        "worker pool vs spawning a fresh pool per call",
+        run=_pool_run,
+        key_fields=("corpus", "programs", "workers"),
+        thresholds=(Threshold("pool_reuse_speedup", floor=1.3, min_cores=4),),
+        rules={
+            "pool_reuse_speedup": MetricRule(direction="higher", tolerance=0.5)
+        },
+    )
+)
+
+
+# =====================================================================
+# session_reuse: cached ablation sweeps vs cold one-shot loops
+# =====================================================================
+def _sweep_configs():
+    from ..core import InferenceConfig, SubtypingMode
+
+    return (
+        InferenceConfig(mode=SubtypingMode.NONE),
+        InferenceConfig(mode=SubtypingMode.OBJECT),
+        InferenceConfig(mode=SubtypingMode.FIELD),
+        InferenceConfig(mode=SubtypingMode.FIELD, localize_blocks=False),
+    )
+
+
+#: the standard ablation sweep: three subtyping modes + no-letreg
+SWEEP_CONFIGS = _sweep_configs
+
+
+def measure_session_sweep(rounds: int = 5) -> Dict[str, Any]:
+    """The reynolds3 ablation sweep: per-config cold loop vs one session."""
+    from ..api import Session
+    from ..core import infer_source
+    from .regjava import REGJAVA_PROGRAMS
+
+    program = REGJAVA_PROGRAMS["reynolds3"]
+    configs = _sweep_configs()
+
+    def cold():
+        return [infer_source(program.source, config) for config in configs]
+
+    def warm():
+        return Session().sweep(program.source, configs)
+
+    cold_s, warm_s = interleaved_best(cold, warm, rounds)
+    return {
+        "program": "reynolds3",
+        "configs": len(configs),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s,
+    }
+
+
+def _session_run(ctx: RunContext) -> List[Sample]:
+    measured = measure_session_sweep(rounds=2 if ctx.smoke else 5)
+    meta = {"program": measured["program"], "configs": measured["configs"]}
+    return [
+        sample("cold_sweep", measured["cold_s"] * 1000, "ms", meta),
+        sample("session_sweep", measured["warm_s"] * 1000, "ms", meta),
+        sample("sweep_speedup", measured["speedup"], "x", meta),
+    ]
+
+
+register(
+    BenchmarkSpec(
+        name="session_reuse",
+        description="Ablation sweep through one Session (parse/annotate "
+        "cached across configs) vs a cold per-config loop",
+        run=_session_run,
+        key_fields=("program", "configs"),
+        # the deterministic cache behaviour is asserted in tests; the
+        # timing bar is only "never lose to the cold loop"
+        thresholds=(Threshold("sweep_speedup", floor=0.95),),
+        rules={"sweep_speedup": MetricRule(direction="higher", tolerance=0.5)},
+    )
+)
+
+
+# =====================================================================
+# fig8 / fig9: the paper's evaluation tables
+# =====================================================================
+FIG8_SMOKE_NAMES = ("sieve", "reynolds3", "foo-sum")
+FIG9_SMOKE_NAMES = ("bisort", "em3d", "mst", "treeadd")
+
+
+def _fig8_run(ctx: RunContext) -> List[Sample]:
+    from .harness import fig8_rows
+
+    names = FIG8_SMOKE_NAMES if ctx.smoke else None
+    rows = fig8_rows(quick=True, names=names)
+    samples: List[Sample] = []
+    for row in rows:
+        meta = {"program": row.name, "input": row.input_label, "mode": "field"}
+        samples.append(
+            sample("inference", row.inference_seconds * 1000, "ms", meta)
+        )
+        samples.append(
+            sample("checking", row.checking_seconds * 1000, "ms", meta)
+        )
+        for mode, ratio in sorted(row.ratios.items()):
+            samples.append(
+                sample(
+                    "space_ratio",
+                    ratio,
+                    "ratio",
+                    {"program": row.name, "input": row.input_label, "mode": mode},
+                )
+            )
+    return samples
+
+
+register(
+    BenchmarkSpec(
+        name="fig8",
+        description="The paper's Fig 8 table: per-RegJava-program inference "
+        "and checking time plus space-usage ratios per subtyping mode "
+        "(quick inputs)",
+        run=_fig8_run,
+        key_fields=("program", "mode"),
+    )
+)
+
+
+def _fig9_run(ctx: RunContext) -> List[Sample]:
+    from .harness import fig9_rows
+
+    names = FIG9_SMOKE_NAMES if ctx.smoke else None
+    rows = fig9_rows(names=names)
+    return [
+        sample(
+            "inference",
+            row.inference_seconds * 1000,
+            "ms",
+            {"program": row.name},
+        )
+        for row in rows
+    ]
+
+
+register(
+    BenchmarkSpec(
+        name="fig9",
+        description="The paper's Fig 9 table: inference time per Olden "
+        "program (the suite inferred as one batch)",
+        run=_fig9_run,
+        key_fields=("program",),
+    )
+)
+
+
+# =====================================================================
+# serve_loadgen: the closed-loop concurrency sweep against the daemon
+# =====================================================================
+def _loadgen_prepare(ctx: RunContext) -> None:
+    from ..serve import LoadgenConfig
+
+    if ctx.smoke:
+        ctx.state["config"] = LoadgenConfig(
+            levels=(1, 2),
+            requests_per_level=6,
+            tenants=2,
+            programs=("treeadd", "bisort"),
+        )
+    else:
+        ctx.state["config"] = LoadgenConfig()
+
+
+def _loadgen_run(ctx: RunContext) -> List[Sample]:
+    from ..serve import ServerConfig, run_loadgen
+
+    result = run_loadgen(
+        ctx.state["config"],
+        self_host=True,
+        server_config=ServerConfig(backend="thread"),
+    )
+    return [Sample.from_dict(s) for s in result["samples"]]
+
+
+register(
+    BenchmarkSpec(
+        name="serve_loadgen",
+        description="Closed-loop loadgen sweep against a self-hosted "
+        "daemon: latency percentiles, throughput and admission counts "
+        "per concurrency level",
+        prepare=_loadgen_prepare,
+        run=_loadgen_run,
+        key_fields=("corpus", "tenants", "concurrency"),
+        thresholds=(Threshold("requests_failed", ceiling=0.0),),
+        rules={
+            "requests_failed": MetricRule(
+                direction="lower",
+                tolerance=0.0,
+                warn_tolerance=0.0,
+                portable=True,
+            )
+        },
+    )
+)

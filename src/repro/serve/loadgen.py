@@ -9,7 +9,8 @@ sweep explores *saturation*, and any 429s it provokes at high
 concurrency are the admission controller doing its job, counted
 separately from failures.
 
-Each sample is a flat JSON object::
+Each sample is a flat JSON object, stamped when its level's measurement
+completes::
 
     {"metric": "latency_p99", "value": 812.4, "unit": "ms",
      "timestamp": 1754560000.0,
@@ -21,6 +22,10 @@ Per level: ``latency_p50`` / ``latency_p99`` / ``latency_mean`` (ms),
 ``requests_failed`` (count).  The acceptance bar for the subsystem reads
 straight off these: ``requests_failed`` must be zero at every level —
 overload shows up as rejections, never as failures or hangs.
+
+The standalone report written by ``--output`` is schema-versioned with
+host metadata, and the sweep also runs under ``repro bench`` as the
+``serve_loadgen`` family (see :mod:`repro.bench.families`).
 
 ``--self-host`` (the default for ``repro loadgen`` without ``--host``)
 boots an in-process daemon on an ephemeral port first, which is what the
@@ -200,8 +205,11 @@ def _run_level(config: LoadgenConfig, concurrency: int) -> LevelReport:
 
 
 def _samples_for(
-    report: LevelReport, metadata: Dict[str, Any], stamp: float
+    report: LevelReport, metadata: Dict[str, Any]
 ) -> List[Dict[str, Any]]:
+    # stamped here, when this level's measurement completes — a shared
+    # file-level timestamp would lie about when each number was taken
+    stamp = time.time()
     meta = dict(metadata, concurrency=report.concurrency)
     ms = [s * 1000.0 for s in report.latencies]
 
@@ -256,7 +264,6 @@ def run_loadgen(
             name="loadgen-server",
         )
         server_thread.start()
-    stamp = time.time()
     samples: List[Dict[str, Any]] = []
     reports: List[LevelReport] = []
     metadata = {
@@ -268,14 +275,18 @@ def run_loadgen(
         for level in config.levels:
             report = _run_level(config, level)
             reports.append(report)
-            samples.extend(_samples_for(report, metadata, stamp))
+            samples.extend(_samples_for(report, metadata))
     finally:
         if server is not None:
             server.shutdown()
             server_thread.join()
             server.close()
+    from ..bench.pkb import SCHEMA_VERSION, host_metadata
+
     result = {
+        "schema_version": SCHEMA_VERSION,
         "benchmark": "serve_loadgen",
+        "host": host_metadata(),
         "samples": samples,
         "summary": {
             "levels": [r.concurrency for r in reports],
@@ -291,9 +302,19 @@ def run_loadgen(
     return result
 
 
-def _server_workers(config: LoadgenConfig, server: Optional[Any]) -> Any:
-    """Best-effort worker-count metadata for the samples."""
-    if server is not None:
-        cap = server.router.config.max_workers
-        return cap if cap is not None else "auto"
-    return "external"
+def _server_workers(config: LoadgenConfig, server: Optional[Any]) -> int:
+    """Worker-count metadata for the samples, resolved to a real number.
+
+    An unset cap used to publish as the string ``"auto"``, which made the
+    metadata type vary across families; resolve it to the CPU allowance
+    the pool actually scales toward.  ``0`` means unknown — an external
+    daemon whose configuration the client cannot see.
+    """
+    if server is None:
+        return 0
+    cap = server.router.config.max_workers
+    if cap is not None:
+        return cap
+    from ..api.executor import available_cpus
+
+    return available_cpus()

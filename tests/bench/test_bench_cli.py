@@ -1,0 +1,182 @@
+"""Tests for the ``repro bench`` subcommands.
+
+Most tests swap the family registry for toy specs so the CLI paths run
+in milliseconds; one smoke test exercises a real (cheap) family
+end-to-end to keep the registry wiring honest.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench import families as bench_families
+from repro.bench.pkb import (
+    BenchmarkSpec,
+    MetricRule,
+    Threshold,
+    sample,
+)
+
+
+def _toy_registry(value=1.0):
+    def run(ctx):
+        return [
+            sample("wall", value, "ms", {"case": "a"}),
+            sample("speedup", 8.0, "x", {"case": "a"}),
+        ]
+
+    return {
+        "toy": BenchmarkSpec(
+            name="toy",
+            description="a toy family for CLI tests",
+            run=run,
+            key_fields=("case",),
+            thresholds=(Threshold("speedup", floor=5.0),),
+            rules={"speedup": MetricRule(
+                direction="higher", tolerance=0.5, portable=True
+            )},
+        ),
+    }
+
+
+@pytest.fixture()
+def toy_registry(monkeypatch):
+    monkeypatch.setattr(bench_families, "_REGISTRY", _toy_registry())
+
+
+class TestBenchList:
+    def test_lists_registered_families(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("solver_scaling", "incremental_reinfer",
+                     "serve_loadgen", "fig8", "fig9"):
+            assert name in out
+        assert "threshold" in out
+
+    def test_json_carries_thresholds(self, capsys):
+        assert main(["bench", "list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        families = {f["name"]: f for f in payload["families"]}
+        assert len(families) >= 8
+        reinfer = families["incremental_reinfer"]
+        assert {"metric": "speedup", "floor": 5.0, "ceiling": None,
+                "min_cores": 1} in reinfer["thresholds"]
+        assert reinfer["key_fields"] == ["corpus", "edit"]
+
+
+class TestBenchRun:
+    def test_prints_samples(self, toy_registry, capsys):
+        assert main(["bench", "run", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "toy" in out and "wall" in out and "case=a" in out
+
+    def test_families_filter_rejects_unknown(self, toy_registry, capsys):
+        assert main(["bench", "run", "--families", "nonexistent"]) == 2
+        assert "unknown benchmark family" in capsys.readouterr().err
+
+    def test_threshold_violation_exits_nonzero(self, monkeypatch, capsys):
+        registry = _toy_registry()
+        failing = BenchmarkSpec(
+            name="toy",
+            description="",
+            run=lambda ctx: [sample("speedup", 1.0, "x", {"case": "a"})],
+            thresholds=(Threshold("speedup", floor=5.0),),
+        )
+        registry["toy"] = failing
+        monkeypatch.setattr(bench_families, "_REGISTRY", registry)
+        assert main(["bench", "run"]) == 1
+        assert "THRESHOLD" in capsys.readouterr().out
+
+    def test_real_family_smoke(self, capsys):
+        """One genuine (cheap) family through the real registry."""
+        assert main(
+            ["bench", "run", "--smoke", "--families", "session_reuse"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "session_reuse" in out and "sweep_speedup" in out
+
+
+class TestBenchPublish:
+    def test_writes_schema_versioned_report(
+        self, toy_registry, tmp_path, capsys
+    ):
+        out_path = tmp_path / "BENCH_1.json"
+        assert main(
+            ["bench", "publish", "--smoke", "--output", str(out_path)]
+        ) == 0
+        report = json.loads(out_path.read_text())
+        assert report["schema_version"] == 1
+        assert report["smoke"] is True
+        assert report["host"]["cpu_count"] >= 1
+        assert {s["family"] for s in report["samples"]} == {"toy"}
+        assert report["families"]["toy"]["samples"] == 2
+        assert "wrote" in capsys.readouterr().out
+
+    def test_default_output_is_next_bench_file(
+        self, toy_registry, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "BENCH_41.json").write_text("{}")
+        assert main(["bench", "publish", "--smoke"]) == 0
+        assert (tmp_path / "BENCH_42.json").exists()
+
+    def test_violation_still_writes_file(self, monkeypatch, tmp_path):
+        registry = {
+            "toy": BenchmarkSpec(
+                name="toy",
+                description="",
+                run=lambda ctx: [sample("speedup", 1.0, "x", {"case": "a"})],
+                thresholds=(Threshold("speedup", floor=5.0),),
+            ),
+        }
+        monkeypatch.setattr(bench_families, "_REGISTRY", registry)
+        out_path = tmp_path / "BENCH_1.json"
+        assert main(
+            ["bench", "publish", "--smoke", "--output", str(out_path)]
+        ) == 1
+        assert json.loads(out_path.read_text())["samples"]
+
+
+class TestBenchCompare:
+    def _publish(self, tmp_path, name, value=1.0, monkeypatch=None):
+        monkeypatch.setattr(
+            bench_families, "_REGISTRY", _toy_registry(value)
+        )
+        path = tmp_path / name
+        assert main(
+            ["bench", "publish", "--smoke", "--output", str(path)]
+        ) == 0
+        return str(path)
+
+    def test_identical_pair_passes(self, tmp_path, monkeypatch, capsys):
+        base = self._publish(tmp_path, "a.json", 1.0, monkeypatch)
+        cand = self._publish(tmp_path, "b.json", 1.0, monkeypatch)
+        assert main(["bench", "compare", base, cand]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_two_x_slower_fails(self, tmp_path, monkeypatch, capsys):
+        base = self._publish(tmp_path, "a.json", 1.0, monkeypatch)
+        cand = self._publish(tmp_path, "b.json", 2.0, monkeypatch)
+        assert main(["bench", "compare", base, cand]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "toy.wall" in out
+
+    def test_json_payload(self, tmp_path, monkeypatch, capsys):
+        base = self._publish(tmp_path, "a.json", 1.0, monkeypatch)
+        cand = self._publish(tmp_path, "b.json", 2.0, monkeypatch)
+        capsys.readouterr()  # drain the publish output
+        assert main(
+            ["bench", "compare", base, cand, "--format", "json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["same_host"] is True
+        assert payload["counts"]["regress"] == 1
+
+    def test_verbose_shows_passing_metrics(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        base = self._publish(tmp_path, "a.json", 1.0, monkeypatch)
+        assert main(["bench", "compare", base, base, "--verbose"]) == 0
+        assert "toy.speedup" in capsys.readouterr().out

@@ -84,6 +84,43 @@ class TestSweep(object):
         # the artifact on disk is the same report
         assert json.loads(out.read_text())["summary"] == summary
 
+    def test_report_is_schema_versioned_with_host_metadata(self):
+        from repro.bench.pkb import SCHEMA_VERSION
+
+        result = run_loadgen(
+            LoadgenConfig(
+                levels=(1,), requests_per_level=2, programs=("treeadd",)
+            ),
+            self_host=True,
+            server_config=ServerConfig(backend="thread"),
+        )
+        assert result["schema_version"] == SCHEMA_VERSION
+        assert result["host"]["cpu_count"] >= 1
+        # the worker count resolves to a real number, never the old
+        # string "auto" the unset cap used to publish as
+        for sample in result["samples"]:
+            workers = sample["metadata"]["workers"]
+            assert isinstance(workers, int) and workers >= 1
+
+    def test_each_level_is_stamped_when_it_completes(self):
+        result = run_loadgen(
+            LoadgenConfig(
+                levels=(1, 2, 4),
+                requests_per_level=3,
+                programs=("treeadd",),
+            ),
+            self_host=True,
+            server_config=ServerConfig(backend="thread"),
+        )
+        stamps = {}
+        for sample in result["samples"]:
+            level = sample["metadata"]["concurrency"]
+            stamps.setdefault(level, set()).add(sample["timestamp"])
+        # one shared stamp within a level, distinct stamps across levels
+        assert all(len(s) == 1 for s in stamps.values())
+        ordered = [next(iter(stamps[level])) for level in (1, 2, 4)]
+        assert ordered[0] < ordered[1] < ordered[2]
+
     def test_sweep_reports_rejections_not_failures_under_overload(self):
         # a deliberately starved daemon: one slot, no waiting room — every
         # concurrent surplus request must come back 429, never an error
