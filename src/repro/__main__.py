@@ -10,6 +10,9 @@ Commands (all built on the staged :mod:`repro.api` pipeline):
 * ``batch FILE...`` -- batch inference over many files on a worker pool
 * ``watch FILE``   -- re-infer incrementally on every change to the file,
   printing per-edit latency and SCC splice/re-infer counts
+* ``gen``          -- emit seeded synthetic Core-Java programs, corpora
+  and edit scripts from a :class:`~repro.gen.GenSpec` (:mod:`repro.gen`;
+  see ``docs/generator.md``)
 * ``bench list|run|publish|compare`` -- the staged benchmark subsystem:
   run the registered families, publish the next schema-versioned
   ``BENCH_<n>.json`` sample file, and gate on per-metric regressions
@@ -415,6 +418,7 @@ def cmd_loadgen(args: argparse.Namespace, session: Session) -> int:
         requests_per_level=args.requests,
         tenants=args.tenants,
         programs=tuple(args.programs),
+        corpus_dir=args.corpus_dir,
     )
     self_host = args.host is None
     result = run_loadgen(
@@ -441,6 +445,107 @@ def cmd_loadgen(args: argparse.Namespace, session: Session) -> int:
     )
     _emit(args, {"ok": True, "command": "loadgen", **result}, "\n".join(lines))
     return EXIT_OK if summary["total_failed"] == 0 else EXIT_ERROR
+
+
+def _gen_spec(args: argparse.Namespace):
+    """Build the GenSpec a ``repro gen`` invocation describes."""
+    from .gen import GenSpec
+
+    if args.spec is not None:
+        spec = GenSpec.from_json(args.spec)
+        if args.seed is not None:
+            spec = spec.with_seed(args.seed)
+        return spec
+    seed = args.seed if args.seed is not None else 0
+    if args.sized:
+        return GenSpec.sized(args.classes, seed=seed)
+    return GenSpec(
+        seed=seed,
+        classes=args.classes,
+        methods_per_class=args.methods_per_class,
+        fields_per_class=args.fields_per_class,
+        statics=args.statics,
+        hierarchy_depth=args.hierarchy_depth,
+        recursion=not args.no_recursion,
+        loops=not args.no_loops,
+        downcasts=not args.no_downcasts,
+        overrides=not args.no_overrides,
+        letreg=not args.no_letreg_gen,
+    )
+
+
+def cmd_gen(args: argparse.Namespace, session: Session) -> int:
+    from .gen import edit_script, generate_corpus, generate_source, write_corpus
+
+    def usage_error(message: str) -> int:
+        diag = Diagnostic(
+            severity=Severity.ERROR,
+            stage="gen",
+            code=DiagnosticCode.INTERNAL,
+            message=message,
+        )
+        return _fail(args, "gen", [diag])
+
+    if args.count is not None and args.edits is not None:
+        return usage_error("--count and --edits are mutually exclusive")
+    if (args.count is not None or args.edits is not None) and not args.out_dir:
+        return usage_error("--count/--edits need --out-dir to write into")
+    try:
+        spec = _gen_spec(args)
+    except (ValueError, KeyError) as err:
+        return usage_error(f"bad spec: {err}")
+
+    payload: Dict[str, Any] = {
+        "ok": True,
+        "command": "gen",
+        "spec": spec.to_dict(),
+        "diagnostics": [],
+    }
+    if args.spec_only:
+        _emit(args, payload, spec.to_json())
+        return EXIT_OK
+
+    if args.count is not None:
+        corpus = generate_corpus(spec, args.count)
+        paths = write_corpus(args.out_dir, corpus)
+        payload["files"] = [str(p) for p in paths]
+        payload["manifest"] = str(Path(args.out_dir) / "corpus.json")
+        _emit(
+            args,
+            payload,
+            f"wrote {len(paths)} programs + corpus.json to {args.out_dir}",
+        )
+        return EXIT_OK
+
+    if args.edits is not None:
+        versions = edit_script(spec, args.edits)
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for k, version in enumerate(versions):
+            path = out_dir / f"edit_{k:03d}.cj"
+            path.write_text(version)
+            paths.append(str(path))
+        payload["files"] = paths
+        _emit(
+            args,
+            payload,
+            f"wrote {len(paths)} edit-script versions to {args.out_dir}",
+        )
+        return EXIT_OK
+
+    source = generate_source(spec)
+    payload["lines"] = len(source.splitlines())
+    if args.output:
+        Path(args.output).write_text(source)
+        payload["file"] = args.output
+        _emit(args, payload, f"wrote {payload['lines']} lines to {args.output}")
+    else:
+        payload["source"] = source
+        # print() adds the trailing newline back, so stdout stays
+        # byte-identical to what -o FILE writes.
+        _emit(args, payload, source.rstrip("\n"))
+    return EXIT_OK
 
 
 def _bench_specs(args: argparse.Namespace) -> List[Any]:
@@ -819,7 +924,15 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=[],
         metavar="NAME",
-        help="Olden programs to request (default: the whole corpus)",
+        help="programs to request (default: the whole corpus); Olden "
+        "names, or file stems with --corpus-dir",
+    )
+    p_loadgen.add_argument(
+        "--corpus-dir",
+        default=None,
+        metavar="DIR",
+        help="drive a directory of *.cj programs (e.g. written by "
+        "`repro gen --count`) instead of the Olden corpus",
     )
     p_loadgen.add_argument(
         "--output",
@@ -830,6 +943,75 @@ def build_parser() -> argparse.ArgumentParser:
     pool(p_loadgen)
     output(p_loadgen)
     p_loadgen.set_defaults(func=cmd_loadgen)
+
+    p_gen = sub.add_parser(
+        "gen",
+        help="generate seeded synthetic Core-Java programs",
+        description="Emit well-typed, region-inferable programs "
+        "deterministically from a GenSpec (seed + size knobs + feature "
+        "toggles): one program, a corpus directory with a manifest "
+        "(--count), or an edit-script of successive versions (--edits) "
+        "for the watch/reinfer workloads (see docs/generator.md).",
+    )
+    p_gen.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="generator seed (default 0; overrides --spec's seed)",
+    )
+    p_gen.add_argument(
+        "--classes", type=int, default=4, metavar="N",
+        help="number of generated classes",
+    )
+    p_gen.add_argument(
+        "--sized",
+        action="store_true",
+        help="scale every knob with --classes (the GenSpec.sized preset: "
+        "4 is a ~100-line smoke program, 1000 a ~50k-line corpus)",
+    )
+    p_gen.add_argument(
+        "--methods-per-class", type=int, default=2, metavar="N"
+    )
+    p_gen.add_argument("--fields-per-class", type=int, default=2, metavar="N")
+    p_gen.add_argument("--statics", type=int, default=2, metavar="N")
+    p_gen.add_argument("--hierarchy-depth", type=int, default=3, metavar="N")
+    p_gen.add_argument(
+        "--no-recursion", action="store_true",
+        help="disable recursive shape classes (lists/trees/dags)",
+    )
+    p_gen.add_argument("--no-loops", action="store_true")
+    p_gen.add_argument("--no-downcasts", action="store_true")
+    p_gen.add_argument("--no-overrides", action="store_true")
+    p_gen.add_argument(
+        "--no-letreg", dest="no_letreg_gen", action="store_true",
+        help="disable letreg-heavy methods",
+    )
+    p_gen.add_argument(
+        "--spec", default=None, metavar="JSON",
+        help="full GenSpec as JSON (as embedded in generated headers); "
+        "knob flags are ignored, --seed still overrides",
+    )
+    p_gen.add_argument(
+        "--spec-only", action="store_true",
+        help="print the canonical spec JSON without generating",
+    )
+    p_gen.add_argument(
+        "-o", "--output", default=None, metavar="FILE",
+        help="write the single program here instead of stdout",
+    )
+    p_gen.add_argument(
+        "--count", type=int, default=None, metavar="K",
+        help="write a K-program corpus (derived seeds) plus corpus.json "
+        "into --out-dir",
+    )
+    p_gen.add_argument(
+        "--edits", type=int, default=None, metavar="K",
+        help="write K+1 successive edit-script versions into --out-dir",
+    )
+    p_gen.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="destination directory for --count/--edits",
+    )
+    output(p_gen)
+    p_gen.set_defaults(func=cmd_gen)
 
     p_bench = sub.add_parser(
         "bench",

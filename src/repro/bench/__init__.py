@@ -11,13 +11,14 @@ from .harness import (
     fig9_table,
     measure_program,
 )
-from .composite import COMPOSITE_MEMBERS, composite_source
+from .composite import COMPOSITE_MEMBERS, composite_source, corpus_source
 from .olden import OLDEN_PROGRAMS, OldenPaperRow, OldenProgram, olden_program
 from .regjava import REGJAVA_PROGRAMS, BenchmarkProgram, PaperRow, regjava_program
 
 __all__ = [
     "COMPOSITE_MEMBERS",
     "composite_source",
+    "corpus_source",
     "Fig8Row",
     "Fig9Row",
     "MODES",

@@ -1,11 +1,13 @@
-"""A large multi-benchmark program for incremental re-inference work.
+"""Corpus-composition helpers for incremental re-inference work.
 
 No single Olden port is big enough to show SCC-granular caching off (the
-largest has 10 methods), so this module concatenates four ports with
-disjoint class and method namespaces into one 35-method program.  The
-watch-mode smoke test, the differential edit suite and
-``benchmarks/test_incremental_reinfer.py`` all edit *one* method of this
-program and measure how much of the rest is spliced from the prior run.
+largest has 10 methods), so the original composite concatenated four
+ports with disjoint class and method namespaces into one 35-method
+program.  The helpers here are corpus-agnostic: :func:`corpus_source`
+joins *any* member sources -- hand-ported benchmarks or programs from
+``repro.gen`` -- and the edit helpers work on any source text, so the
+watch-mode smoke test, the differential edit suite and the reinfer
+benchmarks run unchanged on synthetic corpora.
 
 Edit helpers return complete new source texts (never mutated ASTs), the
 same thing an editor buffer would hand to ``Session.reinfer``.
@@ -13,24 +15,33 @@ same thing an editor buffer would hand to ``Session.reinfer``.
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
-from .olden import OLDEN_PROGRAMS
+from typing import Iterable, Tuple
 
 __all__ = [
     "COMPOSITE_MEMBERS",
+    "corpus_source",
     "composite_source",
     "rename_local",
     "tweak_method_body",
 ]
 
-#: the member benchmarks, chosen so no class or method names collide
+#: the hand-ported member benchmarks, chosen so no class or method names
+#: collide
 COMPOSITE_MEMBERS: Tuple[str, ...] = ("bisort", "em3d", "health", "mst")
 
 
+def corpus_source(sources: Iterable[str]) -> str:
+    """One program from many member sources (namespaces must not collide)."""
+    return "\n".join(sources)
+
+
 def composite_source() -> str:
-    """The concatenated source of the member benchmarks (35 methods)."""
-    return "\n".join(OLDEN_PROGRAMS[name].source for name in COMPOSITE_MEMBERS)
+    """The concatenated source of the Olden members (35 methods)."""
+    from .olden import OLDEN_PROGRAMS
+
+    return corpus_source(
+        OLDEN_PROGRAMS[name].source for name in COMPOSITE_MEMBERS
+    )
 
 
 def rename_local(source: str, old: str, new: str) -> str:

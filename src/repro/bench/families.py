@@ -49,6 +49,7 @@ __all__ = [
     "measure_pool_reuse",
     "measure_session_sweep",
     "measure_reinfer",
+    "measure_gen_pipeline",
     "SWEEP_CONFIGS",
     "alternating_workload",
     "constraint_bundles",
@@ -293,15 +294,29 @@ REINFER_CORPUS = "composite(bisort+em3d+health+mst)"
 REINFER_EDIT_LABEL = "one method body (bisort.nextRandom)"
 
 
-def measure_reinfer(rounds: int = 5) -> Dict[str, Any]:
-    """Edit-one-method: full inference vs SCC splice, interleaved."""
+def measure_reinfer(
+    rounds: int = 5,
+    *,
+    source: Optional[str] = None,
+    edited: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Edit-one-method: full inference vs SCC splice, interleaved.
+
+    Defaults to the Olden composite corpus with its canonical
+    single-literal edit; pass any ``(source, edited)`` version pair --
+    e.g. two adjacent :func:`repro.gen.edit_script` versions -- to
+    measure the same thing on a synthetic corpus.
+    """
     from ..core import infer_source
     from ..core.infer import reinfer_program
     from ..frontend import parse_program
     from .composite import composite_source, tweak_method_body
 
-    source = composite_source()
-    edited = tweak_method_body(source, *REINFER_EDIT)
+    if (source is None) != (edited is None):
+        raise ValueError("pass both of source/edited, or neither")
+    if source is None:
+        source = composite_source()
+        edited = tweak_method_body(source, *REINFER_EDIT)
     prior = infer_source(source)
     program = parse_program(edited)
     result = reinfer_program(program, prior)
@@ -350,6 +365,132 @@ register(
         thresholds=(Threshold("speedup", floor=5.0),),
         rules={
             "speedup": MetricRule(
+                direction="higher", tolerance=0.6, portable=True
+            )
+        },
+    )
+)
+
+
+# =====================================================================
+# gen_scaling: pipeline scaling curve over generated corpora
+# =====================================================================
+#: class counts swept by the scaling curve (``GenSpec.sized`` presets)
+GEN_SCALING_FULL = (10, 25, 50, 100)
+GEN_SCALING_SMOKE = (4, 12)
+#: class count of the synthetic reinfer corpus per run kind
+GEN_REINFER_CLASSES = {"smoke": 12, "full": 40}
+GEN_SCALING_SEED = 0
+
+
+def measure_gen_pipeline(
+    classes: int, seed: int = GEN_SCALING_SEED, rounds: int = 2
+) -> Dict[str, Any]:
+    """Stage timings for one ``GenSpec.sized`` program.
+
+    Generation and parse are timed once (cheap, deterministic); field-mode
+    inference is min-of-rounds; the independent checker runs once over the
+    last inferred target.
+    """
+    from ..checking import check_target
+    from ..core import InferenceConfig, SubtypingMode, infer_program
+    from ..frontend import parse_program
+    from ..gen import GenSpec, generate_source
+
+    spec = GenSpec.sized(classes, seed=seed)
+    start = time.perf_counter()
+    source = generate_source(spec)
+    generate_s = time.perf_counter() - start
+    start = time.perf_counter()
+    program = parse_program(source)
+    parse_s = time.perf_counter() - start
+    config = InferenceConfig(mode=SubtypingMode.FIELD)
+    last: Dict[str, Any] = {}
+
+    def run():
+        last["result"] = infer_program(parse_program(source), config)
+
+    infer_s = best_of(run, rounds)
+    start = time.perf_counter()
+    verdict = check_target(last["result"].target, mode="field")
+    verify_s = time.perf_counter() - start
+    assert verdict.ok, [str(i) for i in verdict.issues[:3]]
+    return {
+        "classes": classes,
+        "seed": seed,
+        "lines": len(source.splitlines()),
+        "methods": sum(len(c.methods) for c in program.classes)
+        + len(program.statics),
+        "generate_s": generate_s,
+        "parse_s": parse_s,
+        "infer_s": infer_s,
+        "verify_s": verify_s,
+    }
+
+
+def _gen_prepare(ctx: RunContext) -> None:
+    ctx.state["sizes"] = GEN_SCALING_SMOKE if ctx.smoke else GEN_SCALING_FULL
+    ctx.state["rounds"] = 1 if ctx.smoke else 2
+    ctx.state["reinfer_classes"] = GEN_REINFER_CLASSES[
+        "smoke" if ctx.smoke else "full"
+    ]
+
+
+def _gen_run(ctx: RunContext) -> List[Sample]:
+    from ..gen import GenSpec, edit_script
+
+    samples: List[Sample] = []
+    rounds = ctx.state["rounds"]
+    for classes in ctx.state["sizes"]:
+        measured = measure_gen_pipeline(classes, rounds=rounds)
+        meta = {
+            "corpus": "generated",
+            "classes": classes,
+            "seed": measured["seed"],
+            "lines": measured["lines"],
+            "methods": measured["methods"],
+            "rounds": rounds,
+        }
+        for stage in ("generate", "parse", "infer", "verify"):
+            samples.append(
+                sample(stage, measured[f"{stage}_s"] * 1000.0, "ms", meta)
+            )
+
+    classes = ctx.state["reinfer_classes"]
+    versions = edit_script(GenSpec.sized(classes, seed=GEN_SCALING_SEED), 1)
+    measured = measure_reinfer(rounds, source=versions[0], edited=versions[1])
+    result = measured["result"]
+    meta = {
+        "corpus": "generated",
+        "classes": classes,
+        "seed": GEN_SCALING_SEED,
+        "edit": "one body literal (edit_script)",
+        "sccs_total": len(result.scc_keys),
+        "sccs_reused": result.reused_sccs,
+        "rounds": rounds,
+    }
+    samples.append(sample("gen_full_infer", measured["full_s"] * 1000, "ms", meta))
+    samples.append(
+        sample(
+            "gen_incremental_reinfer", measured["incremental_s"] * 1000, "ms", meta
+        )
+    )
+    samples.append(sample("gen_reinfer_speedup", measured["speedup"], "x", meta))
+    return samples
+
+
+register(
+    BenchmarkSpec(
+        name="gen_scaling",
+        description="Parse/infer/verify scaling curve over GenSpec.sized "
+        "generated corpora, plus edit-one-literal incremental re-inference "
+        "on a synthetic corpus",
+        prepare=_gen_prepare,
+        run=_gen_run,
+        key_fields=("corpus", "classes", "seed"),
+        thresholds=(Threshold("gen_reinfer_speedup", floor=1.5),),
+        rules={
+            "gen_reinfer_speedup": MetricRule(
                 direction="higher", tolerance=0.6, portable=True
             )
         },

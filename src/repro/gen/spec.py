@@ -1,0 +1,133 @@
+"""The generator's reproducibility contract: :class:`GenSpec`.
+
+A spec is (seed, size knobs, feature toggles).  Generation is a pure
+function of the spec: the same spec yields the byte-identical source text
+on every machine and every run.  Specs round-trip losslessly through
+``to_dict``/``from_dict`` and JSON, and every generated source embeds its
+spec in a header comment so a corpus file is reproducible from the file
+alone -- no side-channel metadata to lose.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Optional
+
+__all__ = ["GenSpec", "SPEC_HEADER_PREFIX", "spec_of_source"]
+
+#: header comment prefix embedding the spec into generated source text
+SPEC_HEADER_PREFIX = "// repro-gen v1 spec="
+
+
+@dataclass(frozen=True)
+class GenSpec:
+    """Seed, size knobs and feature toggles for one generated program.
+
+    Size knobs scale *monotonically*: growing ``classes``,
+    ``methods_per_class``, ``fields_per_class`` or ``statics`` never
+    shrinks the emitted class/method counts (the property tests pin
+    this).  Feature toggles gate whole constructs so a fuzzing matrix
+    can isolate the interaction that broke.
+    """
+
+    #: the random seed; every structural choice derives from it
+    seed: int = 0
+    #: number of generated classes (>= 1)
+    classes: int = 4
+    #: instance methods emitted per class (>= 0)
+    methods_per_class: int = 2
+    #: scalar fields emitted per class beyond the shape fields (>= 0)
+    fields_per_class: int = 2
+    #: extra top-level static helper methods (>= 0); builders, walkers
+    #: and ``main`` are always emitted on top of these
+    statics: int = 2
+    #: maximum inheritance depth below Object (>= 1)
+    hierarchy_depth: int = 3
+    #: emit recursive shapes (list/tree/dag classes + recursive builders
+    #: and walkers mirroring the Olden programs)
+    recursion: bool = True
+    #: emit ``while`` loops (loop-rule / tail-recursion conversion path)
+    loops: bool = True
+    #: emit guaranteed-safe downcasts (paper Sec 5)
+    downcasts: bool = True
+    #: emit method overrides + dynamic dispatch call sites
+    overrides: bool = True
+    #: emit letreg-heavy methods (allocations that die locally and get
+    #: localized); letreg-free escaping methods are always emitted
+    letreg: bool = True
+
+    def __post_init__(self) -> None:
+        if self.classes < 1:
+            raise ValueError("classes must be >= 1")
+        if self.hierarchy_depth < 1:
+            raise ValueError("hierarchy_depth must be >= 1")
+        for knob in ("methods_per_class", "fields_per_class", "statics"):
+            if getattr(self, knob) < 0:
+                raise ValueError(f"{knob} must be >= 0")
+
+    # -- derived -----------------------------------------------------------
+    def with_seed(self, seed: int) -> "GenSpec":
+        return replace(self, seed=seed)
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GenSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown GenSpec fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """Canonical one-line JSON (sorted keys, no spaces): two equal
+        specs always serialise byte-identically."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "GenSpec":
+        return cls.from_dict(json.loads(text))
+
+    def header(self) -> str:
+        """The source header comment embedding this spec."""
+        return SPEC_HEADER_PREFIX + self.to_json()
+
+    # -- sizing presets ----------------------------------------------------
+    @classmethod
+    def sized(cls, classes: int, *, seed: int = 0, **overrides: Any) -> "GenSpec":
+        """A spec whose knobs scale together with the class count.
+
+        ``sized(4)`` is a ~100-line smoke program; ``sized(1000)`` is a
+        ~50k-line / 1k-class corpus (the exact line count depends on the
+        seed's structural draws, but scales linearly in ``classes``).
+        """
+        return cls(
+            seed=seed,
+            classes=classes,
+            methods_per_class=max(1, min(12, classes // 80 + 3)),
+            fields_per_class=3,
+            statics=max(2, classes // 2),
+            hierarchy_depth=max(2, min(6, classes // 4 + 2)),
+            **overrides,
+        )
+
+
+def spec_of_source(source: str) -> Optional[GenSpec]:
+    """Recover the :class:`GenSpec` embedded in a generated source text.
+
+    Returns ``None`` for sources without a generator header (hand-written
+    programs).  Raises ``ValueError`` on a malformed header -- a header
+    that *looks* generated but does not round-trip is corruption worth
+    surfacing, not skipping.
+    """
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith(SPEC_HEADER_PREFIX):
+            return GenSpec.from_json(stripped[len(SPEC_HEADER_PREFIX):])
+        return None
+    return None

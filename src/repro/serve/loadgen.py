@@ -76,14 +76,24 @@ class LoadgenConfig:
     requests_per_level: int = 24
     #: distinct tenants the generator cycles through
     tenants: int = 2
-    #: Olden program names to cycle through (all when empty)
+    #: program names to cycle through (all when empty); Olden names by
+    #: default, file stems when ``corpus_dir`` is set
     programs: Sequence[str] = ()
+    #: directory of ``*.cj`` programs (e.g. written by ``repro gen``) to
+    #: drive instead of the built-in Olden corpus
+    corpus_dir: Optional[str] = None
     #: per-request client-side timeout (seconds)
     timeout: float = 120.0
     endpoint: str = "/v1/infer"
 
+    def corpus_label(self) -> str:
+        """The ``corpus`` metadata field stamped on every sample."""
+        return "generated" if self.corpus_dir else "olden"
+
     def corpus(self) -> List[Tuple[str, str]]:
         """The ``(name, source)`` work list the generator cycles through."""
+        if self.corpus_dir is not None:
+            return self._directory_corpus()
         names = list(self.programs) or sorted(OLDEN_PROGRAMS)
         corpus = []
         for name in names:
@@ -93,6 +103,24 @@ class LoadgenConfig:
                     f"expected one of {sorted(OLDEN_PROGRAMS)}"
                 )
             corpus.append((name, OLDEN_PROGRAMS[name].source))
+        return corpus
+
+    def _directory_corpus(self) -> List[Tuple[str, str]]:
+        from pathlib import Path
+
+        directory = Path(self.corpus_dir)
+        members = {p.stem: p for p in sorted(directory.glob("*.cj"))}
+        if not members:
+            raise ValueError(f"no *.cj programs in corpus dir {directory}")
+        names = list(self.programs) or sorted(members)
+        corpus = []
+        for name in names:
+            if name not in members:
+                raise ValueError(
+                    f"unknown corpus program {name!r}; "
+                    f"expected one of {sorted(members)}"
+                )
+            corpus.append((name, members[name].read_text()))
         return corpus
 
 
@@ -267,7 +295,7 @@ def run_loadgen(
     samples: List[Dict[str, Any]] = []
     reports: List[LevelReport] = []
     metadata = {
-        "corpus": "olden",
+        "corpus": config.corpus_label(),
         "tenants": config.tenants,
         "workers": _server_workers(config, server),
     }

@@ -89,12 +89,16 @@ class TestBenchRun:
         assert "THRESHOLD" in capsys.readouterr().out
 
     def test_real_family_smoke(self, capsys):
-        """One genuine (cheap) family through the real registry."""
-        assert main(
-            ["bench", "run", "--smoke", "--families", "session_reuse"]
-        ) == 0
+        """One genuine (cheap) family through the real registry.
+
+        fig9 declares no thresholds, so this can't flake on a loaded
+        machine the way a speedup floor (e.g. session_reuse's) can;
+        the threshold-violation exit path is covered by the toy
+        registry above.
+        """
+        assert main(["bench", "run", "--smoke", "--families", "fig9"]) == 0
         out = capsys.readouterr().out
-        assert "session_reuse" in out and "sweep_speedup" in out
+        assert "fig9" in out and "inference" in out
 
 
 class TestBenchPublish:

@@ -1,0 +1,61 @@
+"""The gen_scaling benchmark family: registration and a PKB smoke run."""
+
+from repro.bench import families as bench_families
+from repro.bench.families import (
+    GEN_REINFER_CLASSES,
+    GEN_SCALING_SMOKE,
+    measure_gen_pipeline,
+    measure_reinfer,
+)
+from repro.bench.pkb import Runner
+from repro.gen import GenSpec, edit_script
+
+
+def test_family_registered_with_expected_contract():
+    spec = bench_families.get_spec("gen_scaling")
+    assert spec.key_fields == ("corpus", "classes", "seed")
+    names = [t.metric for t in spec.thresholds]
+    assert "gen_reinfer_speedup" in names
+    assert "gen_reinfer_speedup" in spec.rules
+
+
+def test_smoke_run_emits_curve_and_reinfer_samples():
+    run = Runner().run(bench_families.get_spec("gen_scaling"), smoke=True)
+    assert not run.violations, run.violations
+    by_metric = {}
+    for s in run.samples:
+        by_metric.setdefault(s.metric, []).append(s)
+    for stage in ("generate", "parse", "infer", "verify"):
+        curve = by_metric[stage]
+        assert [s.meta()["classes"] for s in curve] == list(GEN_SCALING_SMOKE)
+        assert all(s.meta()["corpus"] == "generated" for s in curve)
+        assert all(s.unit == "ms" and s.value >= 0 for s in curve)
+    (speedup,) = by_metric["gen_reinfer_speedup"]
+    assert speedup.meta()["classes"] == GEN_REINFER_CLASSES["smoke"]
+    assert speedup.meta()["sccs_reused"] >= 1
+    assert speedup.value > 0
+
+
+def test_measure_gen_pipeline_reports_program_shape():
+    measured = measure_gen_pipeline(4, rounds=1)
+    assert measured["classes"] == 4
+    assert measured["lines"] >= 50
+    assert measured["methods"] > 4
+    for stage in ("generate_s", "parse_s", "infer_s", "verify_s"):
+        assert measured[stage] >= 0
+
+
+def test_measure_reinfer_accepts_generated_version_pair():
+    versions = edit_script(GenSpec.sized(12, seed=0), 1)
+    measured = measure_reinfer(1, source=versions[0], edited=versions[1])
+    result = measured["result"]
+    # a one-literal edit must splice nearly every SCC from the prior run
+    assert result.reused_sccs >= len(result.scc_keys) - 2
+    assert measured["speedup"] > 0
+
+
+def test_measure_reinfer_rejects_half_a_version_pair():
+    import pytest
+
+    with pytest.raises(ValueError, match="both of source/edited"):
+        measure_reinfer(1, source="class A extends Object { }")

@@ -1,0 +1,37 @@
+"""Thread-vs-process backend byte-identity over generated corpora.
+
+``Session.infer_many`` must produce byte-identical pretty-printed
+targets regardless of the execution backend; any divergence would mean
+inference results depend on process boundaries (pickling, import order,
+hash randomization) rather than on the program alone.
+"""
+
+from repro.gen import GenSpec, generate_corpus, generate_source
+from repro.gen.oracle import check_backend_identity
+
+
+def test_backends_byte_identical_on_generated_corpus():
+    corpus = generate_corpus(GenSpec(seed=4, classes=4), 10)
+    failures = check_backend_identity([src for _, src in corpus], workers=2)
+    assert not failures, failures
+
+
+def test_backends_byte_identical_across_toggle_corners():
+    sources = [
+        generate_source(GenSpec(seed=21, classes=4)),
+        generate_source(
+            GenSpec(
+                seed=22,
+                classes=4,
+                recursion=False,
+                loops=False,
+                downcasts=False,
+                overrides=False,
+                letreg=False,
+            )
+        ),
+        generate_source(GenSpec(seed=23, classes=4, recursion=False)),
+        generate_source(GenSpec(seed=24, classes=4, loops=False)),
+    ]
+    failures = check_backend_identity(sources, workers=2)
+    assert not failures, failures

@@ -1,0 +1,65 @@
+"""Seed-sweep fuzzing and generated-scale pipeline checks.
+
+The sweep runs the full differential oracle over many seeds of the
+default feature mix (chunked so a failure narrows to a 15-seed window).
+The scale tests pin the acceptance shape: a ``GenSpec.sized(1000)``
+program really is a 1k-class / >= 50k-line corpus that parses and
+typechecks; the *full* parse -> infer -> verify -> execute run over it
+takes ~10 minutes and is gated behind ``REPRO_GEN_SCALE=1``.
+"""
+
+import os
+
+import pytest
+
+from repro.core import SubtypingMode
+from repro.frontend import parse_program
+from repro.gen import GenSpec, check_program_invariants, generate_source
+from repro.typing import check_program
+
+_CHUNK = 15
+
+
+@pytest.mark.parametrize("chunk", range(8))
+def test_seed_sweep_passes_oracle(chunk):
+    for seed in range(chunk * _CHUNK, (chunk + 1) * _CHUNK):
+        spec = GenSpec(seed=seed, classes=6)
+        report = check_program_invariants(generate_source(spec), args=(0, 3))
+        report.raise_if_failed()
+        assert report.executed_args == [0, 3]
+
+
+def test_sized_smoke_program_full_oracle():
+    # the ~100-line smoke end of the sizing curve, all three modes
+    report = check_program_invariants(generate_source(GenSpec.sized(4, seed=1)))
+    report.raise_if_failed()
+
+
+def test_sized_moderate_program_oracle():
+    # a ~1k-line program through the field-mode oracle end to end
+    report = check_program_invariants(
+        generate_source(GenSpec.sized(40, seed=2)),
+        modes=(SubtypingMode.FIELD,),
+        args=(2,),
+    )
+    report.raise_if_failed()
+
+
+def test_thousand_class_corpus_parses_and_typechecks():
+    source = generate_source(GenSpec.sized(1000))
+    assert len(source.splitlines()) >= 50_000
+    program = parse_program(source)
+    assert len(program.classes) >= 1000
+    check_program(program)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_GEN_SCALE") != "1",
+    reason="~10 min full-pipeline scale run; set REPRO_GEN_SCALE=1",
+)
+def test_thousand_class_corpus_full_pipeline():
+    source = generate_source(GenSpec.sized(1000))
+    report = check_program_invariants(
+        source, modes=(SubtypingMode.FIELD,), args=(1,)
+    )
+    report.raise_if_failed()

@@ -1,0 +1,88 @@
+"""Corpus, feature-matrix and edit-script behaviour."""
+
+import json
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.gen import (
+    GenSpec,
+    corpus_seeds,
+    edit_script,
+    feature_matrix,
+    generate_corpus,
+    generate_source,
+    write_corpus,
+)
+from repro.gen.corpus import MANIFEST_NAME
+from repro.typing import check_program
+
+
+def test_corpus_seeds_are_prefix_stable():
+    assert corpus_seeds(7, 3) == corpus_seeds(7, 5)[:3]
+    assert len(set(corpus_seeds(7, 50))) == 50
+
+
+def test_generate_corpus_members_use_derived_seeds():
+    base = GenSpec(seed=7, classes=3)
+    corpus = generate_corpus(base, 4)
+    assert [m.seed for m, _ in corpus] == corpus_seeds(7, 4)
+    for member, source in corpus:
+        assert member.to_dict() == {**base.to_dict(), "seed": member.seed}
+        assert generate_source(member) == source
+
+
+def test_feature_matrix_covers_all_toggle_combinations():
+    matrix = feature_matrix(GenSpec(seed=3, classes=4))
+    assert len(matrix) == 32
+    combos = {
+        (s.recursion, s.loops, s.downcasts, s.overrides, s.letreg) for s in matrix
+    }
+    assert len(combos) == 32
+    assert all(s.seed == 3 and s.classes == 4 for s in matrix)
+
+
+def test_edit_script_versions_parse_and_typecheck():
+    versions = edit_script(GenSpec(seed=9, classes=5), 5)
+    assert len(versions) == 6
+    assert versions[0] != versions[1]
+    for version in versions:
+        check_program(parse_program(version))
+
+
+def test_edit_script_is_deterministic():
+    spec = GenSpec(seed=9, classes=5)
+    assert edit_script(spec, 3) == edit_script(spec, 3)
+
+
+def test_edit_script_rejects_uneditable_program():
+    # a program with no method bodies has no editable literal lines
+    spec = GenSpec(
+        seed=1,
+        classes=1,
+        methods_per_class=0,
+        fields_per_class=0,
+        statics=0,
+        hierarchy_depth=1,
+        recursion=False,
+        loops=False,
+        downcasts=False,
+        overrides=False,
+        letreg=False,
+    )
+    with pytest.raises(ValueError, match="no editable body lines"):
+        edit_script(spec, 1)
+
+
+def test_write_corpus_manifest_round_trips(tmp_path):
+    corpus = generate_corpus(GenSpec(seed=11, classes=3), 3)
+    paths = write_corpus(tmp_path, corpus)
+    assert [p.name for p in paths] == ["gen_000.cj", "gen_001.cj", "gen_002.cj"]
+    manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+    assert manifest["schema"] == "repro-gen-corpus/1"
+    assert manifest["count"] == 3
+    for entry, (member, source) in zip(manifest["programs"], corpus):
+        spec = GenSpec.from_dict(entry["spec"])
+        assert spec == member
+        assert (tmp_path / entry["file"]).read_text() == source
+        assert generate_source(spec) == source

@@ -1,0 +1,76 @@
+"""GenSpec contract tests: validation, serialisation, header round-trip."""
+
+import dataclasses
+
+import pytest
+
+from repro.gen import GenSpec, SPEC_HEADER_PREFIX, generate_source, spec_of_source
+
+
+def test_defaults_are_valid():
+    spec = GenSpec()
+    assert spec.seed == 0 and spec.classes >= 1
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"classes": 0},
+        {"hierarchy_depth": 0},
+        {"methods_per_class": -1},
+        {"fields_per_class": -1},
+        {"statics": -1},
+    ],
+)
+def test_invalid_knobs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        GenSpec(**kwargs)
+
+
+def test_dict_round_trip():
+    spec = GenSpec(seed=9, classes=7, loops=False)
+    assert GenSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_json_round_trip_is_canonical():
+    spec = GenSpec(seed=9, classes=7, downcasts=False)
+    assert GenSpec.from_json(spec.to_json()) == spec
+    # canonical form: sorted keys, no whitespace
+    assert spec.to_json() == spec.to_json()
+    assert " " not in spec.to_json()
+
+
+def test_unknown_fields_rejected():
+    with pytest.raises(ValueError, match="unknown GenSpec fields"):
+        GenSpec.from_dict({"classes": 3, "wibble": 1})
+
+
+def test_with_seed_changes_only_seed():
+    spec = GenSpec(classes=5, letreg=False)
+    reseeded = spec.with_seed(42)
+    assert reseeded.seed == 42
+    assert dataclasses.replace(reseeded, seed=spec.seed) == spec
+
+
+def test_header_embeds_and_recovers_spec():
+    spec = GenSpec(seed=5, classes=3)
+    assert spec.header().startswith(SPEC_HEADER_PREFIX)
+    source = generate_source(spec)
+    assert spec_of_source(source) == spec
+
+
+def test_spec_of_source_none_for_hand_written():
+    assert spec_of_source("class A extends Object { }\n") is None
+    assert spec_of_source("") is None
+
+
+def test_spec_of_source_raises_on_corrupt_header():
+    with pytest.raises(ValueError):
+        spec_of_source(SPEC_HEADER_PREFIX + "{not json\n")
+
+
+def test_sized_presets_scale():
+    small = generate_source(GenSpec.sized(4))
+    large = generate_source(GenSpec.sized(100))
+    assert len(small.splitlines()) < len(large.splitlines())
+    assert GenSpec.sized(100).classes == 100
