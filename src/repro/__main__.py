@@ -7,6 +7,9 @@ Commands (all built on the staged :mod:`repro.api` pipeline):
 * ``run FILE``     -- infer and execute a static entry point on the
   region-based interpreter, reporting space statistics
 * ``report FILE``  -- per-class/per-method inference statistics
+* ``profile FILE`` -- run parse/infer/verify under cProfile, reporting
+  per-stage wall-clock and the top-N functions by cumulative time
+  (text or JSON; see ``docs/scaling.md``)
 * ``batch FILE...`` -- batch inference over many files on a worker pool
 * ``watch FILE``   -- re-infer incrementally on every change to the file,
   printing per-edit latency and SCC splice/re-infer counts
@@ -232,6 +235,83 @@ def cmd_report(args: argparse.Namespace, session: Session) -> int:
         "diagnostics": [],
     }
     _emit(args, payload, render_report(report))
+    return EXIT_OK
+
+
+def cmd_profile(args: argparse.Namespace, session: Session) -> int:
+    import cProfile
+    import pstats
+    import time
+
+    from .checking import check_target
+    from .core import infer_program
+    from .frontend import parse_program
+
+    source = Path(args.file).read_text()
+    config = _config(args)
+    stages: List[Dict[str, Any]] = []
+
+    def staged(name: str, thunk):
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        profiler.enable()
+        value = thunk()
+        profiler.disable()
+        elapsed = time.perf_counter() - start
+        rows = []
+        stats = pstats.Stats(profiler).stats
+        by_cumulative = sorted(
+            stats.items(), key=lambda item: item[1][3], reverse=True
+        )
+        for (filename, lineno, funcname), entry in by_cumulative[: args.top]:
+            _cc, ncalls, tottime, cumtime, _callers = entry
+            rows.append(
+                {
+                    "function": funcname,
+                    "location": f"{Path(filename).name}:{lineno}",
+                    "calls": ncalls,
+                    "tottime_s": round(tottime, 6),
+                    "cumtime_s": round(cumtime, 6),
+                }
+            )
+        stages.append(
+            {"stage": name, "seconds": round(elapsed, 6), "top": rows}
+        )
+        return value
+
+    program = staged("parse", lambda: parse_program(source))
+    result = staged("infer", lambda: infer_program(program, config))
+    staged(
+        "verify",
+        lambda: check_target(
+            result.target, mode=args.mode, downcast=args.downcast
+        ),
+    )
+
+    total = sum(s["seconds"] for s in stages)
+    lines = []
+    for s in stages:
+        lines.append(f"{s['stage']}: {s['seconds'] * 1000:.1f}ms")
+        lines.append(
+            f"  {'cum(ms)':>9}  {'tot(ms)':>9}  {'calls':>8}  function"
+        )
+        for row in s["top"]:
+            lines.append(
+                f"  {row['cumtime_s'] * 1000:9.1f}  "
+                f"{row['tottime_s'] * 1000:9.1f}  "
+                f"{row['calls']:>8}  "
+                f"{row['function']} ({row['location']})"
+            )
+    lines.append(f"total: {total * 1000:.1f}ms")
+    payload = {
+        "ok": True,
+        "command": "profile",
+        "file": args.file,
+        "total_seconds": round(total, 6),
+        "stages": stages,
+        "diagnostics": [],
+    }
+    _emit(args, payload, "\n".join(lines))
     return EXIT_OK
 
 
@@ -785,6 +865,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("file")
     common(p_report)
     p_report.set_defaults(func=cmd_report)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="profile parse/infer/verify under cProfile",
+        description="Run parse -> infer -> verify on one file under "
+        "cProfile, reporting per-stage wall-clock and the top-N functions "
+        "by cumulative time -- the first tool to reach for when the "
+        "gen_scaling curve regresses (see docs/scaling.md).",
+    )
+    p_profile.add_argument("file")
+    p_profile.add_argument(
+        "--top",
+        type=int,
+        default=12,
+        metavar="N",
+        help="functions shown per stage (default 12)",
+    )
+    common(p_profile, collect=False)
+    p_profile.set_defaults(func=cmd_profile)
 
     p_batch = sub.add_parser(
         "batch",

@@ -25,7 +25,7 @@ never measure two different things.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .pkb import (
     BenchmarkSpec,
@@ -362,7 +362,14 @@ register(
         "vs from-scratch on the composite corpus",
         run=_reinfer_run,
         key_fields=("corpus", "edit"),
-        thresholds=(Threshold("speedup", floor=5.0),),
+        # The floor is relative to from-scratch inference, so it moves
+        # when the baseline does: footprint-proportional inference
+        # (docs/scaling.md) roughly halved full_infer on this corpus,
+        # compressing the edit-one-method ratio from ~8.5x to ~4.5x
+        # with the incremental path itself unchanged.  3x still fails
+        # loudly if splicing stops engaging (the ratio would collapse
+        # to ~1x); the portable compare rule below gates drift.
+        thresholds=(Threshold("speedup", floor=3.0),),
         rules={
             "speedup": MetricRule(
                 direction="higher", tolerance=0.6, portable=True
@@ -428,6 +435,27 @@ def measure_gen_pipeline(
     }
 
 
+def fit_loglog_exponent(points: Sequence[Tuple[float, float]]) -> float:
+    """Least-squares slope of ``log(value)`` against ``log(size)``.
+
+    For a curve ``t = c * n^k`` the fitted slope *is* ``k``: 1.0 means
+    linear scaling, 2.0 quadratic.  Being a pure shape statistic it is
+    host-independent, so the exponent can be gated as a *portable*
+    metric where raw wall-clock comparisons must stay same-host.
+    """
+    import math
+
+    if len(points) < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    xs = [math.log(n) for n, _ in points]
+    ys = [math.log(v) for _, v in points]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den
+
+
 def _gen_prepare(ctx: RunContext) -> None:
     ctx.state["sizes"] = GEN_SCALING_SMOKE if ctx.smoke else GEN_SCALING_FULL
     ctx.state["rounds"] = 1 if ctx.smoke else 2
@@ -441,8 +469,10 @@ def _gen_run(ctx: RunContext) -> List[Sample]:
 
     samples: List[Sample] = []
     rounds = ctx.state["rounds"]
+    curve: List[Dict[str, Any]] = []
     for classes in ctx.state["sizes"]:
         measured = measure_gen_pipeline(classes, rounds=rounds)
+        curve.append(measured)
         meta = {
             "corpus": "generated",
             "classes": classes,
@@ -454,6 +484,28 @@ def _gen_run(ctx: RunContext) -> List[Sample]:
         for stage in ("generate", "parse", "infer", "verify"):
             samples.append(
                 sample(stage, measured[f"{stage}_s"] * 1000.0, "ms", meta)
+            )
+
+    if not ctx.smoke:
+        # the log-log slope over the full size sweep: a pure shape
+        # statistic, so (unlike the per-size wall-clock samples) it is
+        # portable across hosts and CI gates superlinearity directly.
+        # Emitted at full sizes only -- smoke compares see it as
+        # "missing", which never fails a comparison.
+        exp_meta = {
+            "corpus": "generated",
+            "seed": GEN_SCALING_SEED,
+            "sizes": ",".join(str(m["classes"]) for m in curve),
+            "rounds": rounds,
+        }
+        for stage in ("infer", "verify"):
+            exponent = fit_loglog_exponent(
+                [(m["classes"], m[f"{stage}_s"]) for m in curve]
+            )
+            samples.append(
+                sample(
+                    f"{stage}_scaling_exponent", exponent, "exponent", exp_meta
+                )
             )
 
     classes = ctx.state["reinfer_classes"]
@@ -488,11 +540,24 @@ register(
         prepare=_gen_prepare,
         run=_gen_run,
         key_fields=("corpus", "classes", "seed"),
-        thresholds=(Threshold("gen_reinfer_speedup", floor=1.5),),
+        thresholds=(
+            Threshold("gen_reinfer_speedup", floor=1.5),
+            # near-linear scaling is the contract of footprint-scoped
+            # inference; ~1.3 leaves headroom over the fitted ~1.2 while
+            # rejecting any relapse toward the old quadratic curve
+            Threshold("infer_scaling_exponent", ceiling=1.35),
+            Threshold("verify_scaling_exponent", ceiling=1.35),
+        ),
         rules={
             "gen_reinfer_speedup": MetricRule(
                 direction="higher", tolerance=0.6, portable=True
-            )
+            ),
+            "infer_scaling_exponent": MetricRule(
+                direction="lower", tolerance=0.12, min_delta=0.05, portable=True
+            ),
+            "verify_scaling_exponent": MetricRule(
+                direction="lower", tolerance=0.12, min_delta=0.05, portable=True
+            ),
         },
     )
 )

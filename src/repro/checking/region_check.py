@@ -82,6 +82,8 @@ class _TargetTable:
         self.program = program
         self.classes: Dict[str, T.TClassDecl] = {c.name: c for c in program.classes}
         self.statics: Dict[str, T.TMethodDecl] = {m.name: m for m in program.statics}
+        self._mutated_field_names: Optional[Set[str]] = None
+        self._rec_read_only: Dict[str, bool] = {}
 
     def arity(self, cn: str) -> int:
         if cn == "Object":
@@ -150,8 +152,17 @@ class _TargetTable:
         return None
 
     def is_rec_read_only(self, cn: str) -> bool:
-        """No assignment in the target program mutates a recursive field."""
+        """No assignment in the target program mutates a recursive field.
+
+        The assigned-field-name set is built once per table and each
+        class's verdict is memoised, so a query costs O(own fields)
+        instead of walking every method body in the program.
+        """
+        cached = self._rec_read_only.get(cn)
+        if cached is not None:
+            return cached
         if cn == "Object" or self.rec_region(cn) is None:
+            self._rec_read_only[cn] = False
             return False
         rec_names = set()
         decl = self.classes[cn]
@@ -161,13 +172,18 @@ class _TargetTable:
             ):
                 rec_names.add(f.name)
         if not rec_names:
+            self._rec_read_only[cn] = False
             return False
-        for method in self.program.all_methods():
-            for node in T.twalk(method.body):
-                if isinstance(node, T.TAssign) and isinstance(node.lhs, T.TFieldRead):
-                    if node.lhs.field_name in rec_names:
-                        return False
-        return True
+        if self._mutated_field_names is None:
+            mutated: Set[str] = set()
+            for method in self.program.all_methods():
+                for node in T.twalk(method.body):
+                    if isinstance(node, T.TAssign) and isinstance(node.lhs, T.TFieldRead):
+                        mutated.add(node.lhs.field_name)
+            self._mutated_field_names = mutated
+        verdict = not (rec_names & self._mutated_field_names)
+        self._rec_read_only[cn] = verdict
+        return verdict
 
 
 class RegionTypeChecker:

@@ -57,6 +57,8 @@ __all__ = [
     "classinv_node",
     "DependencyGraph",
     "DirtySet",
+    "FootprintSet",
+    "SccFootprints",
     "diff",
     "method_fingerprint",
     "class_fingerprint",
@@ -468,6 +470,130 @@ class DependencyGraph:
             cn: class_fingerprint(self.table.decl(cn))
             for cn in self.table.class_names()
         }
+
+
+# ---------------------------------------------------------------------------
+# Per-SCC reachable footprints
+# ---------------------------------------------------------------------------
+
+
+class FootprintSet:
+    """The abstraction names one method SCC's inference may read.
+
+    Backed by a big-int bitmask over the dependency graph's nodes, so
+    membership is one dict probe plus a bit test and the set is never
+    materialised -- the sum of footprint sizes over all SCCs can be
+    quadratic in program size, the masks are not.
+    """
+
+    __slots__ = ("_mask", "_bit_of", "_names")
+
+    def __init__(
+        self, mask: int, bit_of: Mapping[str, int], names: Tuple[str, ...]
+    ):
+        self._mask = mask
+        self._bit_of = bit_of
+        self._names = names
+
+    def __contains__(self, name: object) -> bool:
+        i = self._bit_of.get(name)  # type: ignore[arg-type]
+        return i is not None and (self._mask >> i) & 1 == 1
+
+    def __len__(self) -> int:
+        return bin(self._mask).count("1")
+
+    def __iter__(self):
+        mask = self._mask
+        while mask:
+            low = mask & -mask
+            yield self._names[low.bit_length() - 1]
+            mask ^= low
+
+
+class SccFootprints:
+    """Per-method-SCC reachable abstraction-name footprints.
+
+    The footprint of an SCC is every constraint-abstraction name its
+    per-SCC inference steps are entitled to read:
+
+    * the ``pre`` names of the SCC's own methods and of every method
+      node reachable through call/override edges (callee preconditions
+      are closed when read, so one name per callee suffices);
+    * the ``inv`` names of every reachable ``classinv`` node (the
+      hierarchy edges between ``classinv`` nodes close superclass
+      invariants transitively);
+    * the ``inv`` names of each member's *owner line* -- methods
+      deliberately take no ``classinv`` edge on their own hierarchy
+      (it would be cyclic), yet their hypotheses expand the owner's
+      invariant.
+
+    Masks are built in one dependencies-first pass over the condensation
+    (big-int unions, O(edges) word operations), which is what makes the
+    per-SCC slice cheap enough to hand to every SCC of every run.
+    """
+
+    def __init__(self, graph: DependencyGraph):
+        sccs = graph.sccs()
+        names: List[str] = []
+        bit_of: Dict[str, int] = {}
+        node_bit: Dict[Node, int] = {}
+        scc_of: Dict[Node, int] = {}
+        for i, scc in enumerate(sccs):
+            for n in scc:
+                scc_of[n] = i
+                node_bit[n] = len(names)
+                prefix = "pre." if n.kind == "method" else "inv."
+                bit_of[prefix + n.name] = len(names)
+                names.append(prefix + n.name)
+        # Object has no classinv node (``uses_class`` skips it -- every
+        # method could otherwise reach it), yet any Object-typed value
+        # expands its invariant; it is in every footprint by fiat.
+        object_inv = f"inv.{OBJECT_NAME}"
+        if object_inv not in bit_of:
+            bit_of[object_inv] = len(names)
+            names.append(object_inv)
+        object_bit = 1 << bit_of[object_inv]
+        self._names = tuple(names)
+        self._bit_of = bit_of
+
+        masks: List[int] = []
+        for i, scc in enumerate(sccs):  # dependencies-first
+            mask = 0
+            for n in scc:
+                mask |= 1 << node_bit[n]
+                for m in graph.edges[n]:
+                    j = scc_of[m]
+                    if j != i:
+                        mask |= masks[j]
+            masks.append(mask)
+
+        self._by_key: Dict[Tuple[str, ...], FootprintSet] = {}
+        self._by_method: Dict[str, FootprintSet] = {}
+        for i, scc in enumerate(sccs):
+            methods = sorted(n.name for n in scc if n.kind == "method")
+            if not methods:
+                continue
+            mask = masks[i] | object_bit
+            for qn in methods:
+                owner = graph._methods[qn].owner
+                if owner is None:
+                    continue
+                for cn in graph.table.ancestors(owner):
+                    b = bit_of.get(f"inv.{cn}")
+                    if b is not None:
+                        mask |= 1 << b
+            fp = FootprintSet(mask, bit_of, self._names)
+            self._by_key[tuple(methods)] = fp
+            for qn in methods:
+                self._by_method[qn] = fp
+
+    def for_scc(self, methods: Sequence[str]) -> FootprintSet:
+        """The footprint of the SCC with exactly these method names."""
+        return self._by_key[tuple(sorted(methods))]
+
+    def for_method(self, qualified: str) -> FootprintSet:
+        """The footprint of the SCC ``qualified`` belongs to."""
+        return self._by_method[qualified]
 
 
 # ---------------------------------------------------------------------------

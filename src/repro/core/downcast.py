@@ -114,6 +114,9 @@ class DowncastAnalysis:
         self.direct_casts: Dict[FlowSource, Set[str]] = {}
         #: static class of each node (best effort)
         self.static_class: Dict[FlowSource, str] = {}
+        self._decls: Dict[str, S.MethodDecl] = {
+            m.qualified_name: m for m in program.all_methods()
+        }
         self._gather()
 
     # -- flow gathering -----------------------------------------------------------
@@ -253,10 +256,7 @@ class DowncastAnalysis:
 
     # -- helpers --------------------------------------------------------------------
     def _method_decl(self, qualified: str) -> Optional[S.MethodDecl]:
-        for m in self.program.all_methods():
-            if m.qualified_name == qualified:
-                return m
-        return None
+        return self._decls.get(qualified)
 
     def _class_of(self, e: S.Expr, env: Dict[str, str], qn: str) -> Optional[str]:
         if isinstance(e, S.Var):

@@ -28,6 +28,7 @@ exercised in the test suite.
 
 from __future__ import annotations
 
+import bisect
 import hashlib
 import time
 from dataclasses import dataclass, field as dc_field, replace as dc_replace
@@ -40,6 +41,7 @@ from ..lang.class_table import OBJECT_NAME, ClassTable
 from ..regions.abstraction import (
     AbstractionEnv,
     ConstraintAbstraction,
+    ScopedAbstractionEnv,
     inv_name,
 )
 from ..regions.constraints import (
@@ -60,6 +62,7 @@ from ..typing.normal import NormalTypeChecker
 from .depgraph import (
     DependencyGraph,
     DirtySet,
+    SccFootprints,
     classinv_node,
     diff as depgraph_diff,
 )
@@ -107,6 +110,14 @@ class InferenceConfig:
     #: give every null literal the fictitious null region (the paper's
     #: Sec 8 extension): nulls then impose *no* lifetime constraints at all
     null_fictitious_regions: bool = False
+    #: run every per-SCC step against a footprint-restricted env view:
+    #: reads outside the SCC's reachable closure raise
+    #: :class:`~repro.regions.abstraction.FootprintViolation`.  Writes
+    #: pass through unchecked, so flipping this can never change the
+    #: inference output -- it only turns an accidental whole-program
+    #: dependency into a loud error (and keeps the contract that per-SCC
+    #: cost scales with the footprint, not program size)
+    footprint_scope: bool = True
 
 
 @dataclass
@@ -151,12 +162,14 @@ class AnnotatedProgram:
         )
 
     def fork_env(self) -> AbstractionEnv:
-        """A private copy of ``Q`` holding the shared class invariants.
+        """A private view of ``Q`` holding the shared class invariants.
 
         Abstractions are immutable values (``strengthen`` replaces entries),
-        so a shallow copy fully isolates one inference run from another.
+        so a copy-on-write overlay fully isolates one inference run from
+        another -- in O(1), sharing one frozen invariant base across every
+        run over this program.
         """
-        return AbstractionEnv(iter(self.q))
+        return self.q.overlay()
 
     def ensure_plan(self) -> PaddingPlan:
         """The downcast padding plan, computed once per program."""
@@ -417,9 +430,9 @@ class RegionInference:
         self.config = config or InferenceConfig()
         if prepared is None:
             prepared = AnnotatedProgram.build(program)
-            self.q = prepared.q
-        else:
-            self.q = prepared.fork_env()
+        # always fork: the prepared env keeps exactly the class invariants,
+        # which is what the pristine replay seed aliases (O(1), no copies)
+        self.q = prepared.fork_env()
         self.table = prepared.table
         self.annotator = prepared.annotator
         self.annotations = prepared.annotations
@@ -434,10 +447,43 @@ class RegionInference:
             self.schemes[m.qualified_name] = scheme
         self._tmethods: Dict[str, T.TMethodDecl] = {}
         self._done: Set[str] = set()
+        self._init_resolution()
+        self._footprints: Optional[SccFootprints] = None
+        self.result: Optional[InferenceResult] = None
+
+    def _init_resolution(self) -> None:
+        """Set up incremental override-pair resolution state.
+
+        ``_pairs_by_method`` lets :meth:`_mark_done` enqueue exactly the
+        pairs a newly completed method makes resolvable; ``_pair_order``
+        preserves the declaration order ties used to break the
+        most-derived-first sort, so the incremental worklist replays the
+        former full-rescan algorithm's sequence of state-changing
+        resolutions call for call.
+        """
         self._resolver = OverrideResolver(
             self.table, self.q, self.annotations, self.schemes
         )
-        self.result: Optional[InferenceResult] = None
+        self._pending_pairs: Set[Tuple[str, str, str]] = set()
+        self._pairs_by_method: Dict[str, List[Tuple[str, str, str]]] = {}
+        self._pair_order: Dict[Tuple[str, str, str], int] = {}
+        for i, pair in enumerate(self.table.override_pairs()):
+            sub, sup, mn = pair
+            self._pair_order[pair] = i
+            self._pairs_by_method.setdefault(f"{sub}.{mn}", []).append(pair)
+            self._pairs_by_method.setdefault(f"{sup}.{mn}", []).append(pair)
+        #: resolve_pair invocations so far (the O(overrides) regression
+        #: test reads this; the rescanning driver made it O(SCCs x pairs))
+        self.resolution_pairs_checked = 0
+
+    def _mark_done(self, scc: Sequence[str]) -> None:
+        """Record finished methods and enqueue newly resolvable pairs."""
+        self._done.update(scc)
+        for qn in scc:
+            for pair in self._pairs_by_method.get(qn, ()):
+                sub, sup, mn = pair
+                if f"{sub}.{mn}" in self._done and f"{sup}.{mn}" in self._done:
+                    self._pending_pairs.add(pair)
 
     def _pad_scheme(self, scheme: MethodScheme) -> None:
         """Pad parameter/result types per the downcast plan (Sec 5).
@@ -485,12 +531,15 @@ class RegionInference:
             schemes=self.schemes,
             config=self.config,
         )
-        # snapshot the replay seed for incremental re-inference: the
-        # environment holds exactly the class invariants at this point
-        result.pristine_q = {a.name: a for a in self.q}
+        # the replay seed for incremental re-inference: the environment
+        # holds exactly the class invariants at this point, so the shared
+        # frozen base mapping *is* the snapshot (aliased, not copied)
+        result.pristine_q = self.q.snapshot_base()
         result.plan_salts = plan_salts(self.program, self.plan)
         graph = DependencyGraph(self.program, self.table)
         result.scc_keys = scc_splice_keys(graph, result.plan_salts)
+        if self.config.footprint_scope:
+            self._footprints = SccFootprints(graph)
         for scc in graph.method_sccs():
             self._process_scc(scc, result)
             self._resolve_ready()
@@ -506,51 +555,98 @@ class RegionInference:
         self.result = result
         return result
 
+    def _scoped_q(self, allowed) -> AbstractionEnv:
+        """``self.q`` read-gated to ``allowed``, or as-is when unscoped."""
+        if allowed is None:
+            return self.q
+        return ScopedAbstractionEnv(self.q, allowed)
+
     def _process_scc(self, scc: List[str], result: InferenceResult) -> None:
         scc_set = set(scc)
-        nest: List[ConstraintAbstraction] = []
-        for qn in scc:
-            abstraction = self._infer_method(qn, scc_set, result)
-            nest.append(abstraction)
-        recursive = any(a.body.pred_atoms() for a in nest)
-        fp = solve_recursive_abstractions(nest, self.q)
-        for solved in fp.solutions.values():
-            self.q.define(solved)
-        result.fixpoint_iterations[tuple(sorted(scc))] = fp.iterations
-        if recursive:
-            # Second elaboration pass: with the preconditions now closed,
-            # recursive calls expand to plain base constraints, so the
-            # [letreg] rule can localise regions that the first pass had to
-            # protect as unknown precondition arguments (e.g. the temporary
-            # list of Reynolds3).
-            nest2 = [self._infer_method(qn, set(), result) for qn in scc]
-            fp2 = solve_recursive_abstractions(nest2, self.q)
-            for solved in fp2.solutions.values():
+        # per-SCC work runs against a footprint-restricted view of the env:
+        # the writes (pre definitions) land in the real env, but any read
+        # outside the SCC's reachable closure raises rather than silently
+        # re-introducing a whole-program dependency.  Override resolution
+        # stays on the real env (self._resolver): it legitimately reaches
+        # descendant invariants across the hierarchy.
+        whole_q = self.q
+        if self._footprints is not None:
+            self.q = self._scoped_q(self._footprints.for_scc(scc))
+        try:
+            nest: List[ConstraintAbstraction] = []
+            for qn in scc:
+                abstraction = self._infer_method(qn, scc_set, result)
+                nest.append(abstraction)
+            recursive = any(a.body.pred_atoms() for a in nest)
+            fp = solve_recursive_abstractions(nest, self.q)
+            for solved in fp.solutions.values():
                 self.q.define(solved)
-        self._done.update(scc_set)
+            result.fixpoint_iterations[tuple(sorted(scc))] = fp.iterations
+            if recursive:
+                # Second elaboration pass: with the preconditions now closed,
+                # recursive calls expand to plain base constraints, so the
+                # [letreg] rule can localise regions that the first pass had to
+                # protect as unknown precondition arguments (e.g. the temporary
+                # list of Reynolds3).
+                nest2 = [self._infer_method(qn, set(), result) for qn in scc]
+                fp2 = solve_recursive_abstractions(nest2, self.q)
+                for solved in fp2.solutions.values():
+                    self.q.define(solved)
+        finally:
+            self.q = whole_q
+        self._mark_done(scc)
 
     def _resolve_ready(self) -> None:
-        """Run override resolution for pairs whose methods are both done.
+        """Run override resolution for pairs that just became resolvable.
 
         The dependency graph orders subclass methods before the superclass
         method they override, so resolving as soon as the superclass method
         completes guarantees its *callers* (processed later) see the final,
         possibly strengthened precondition.
+
+        Resolution is incremental: only pairs whose second member just
+        completed are attempted (plus ripples -- when resolving
+        ``(sub, sup, mn)`` strengthens ``pre.sup.mn``, the pair where
+        ``sup`` is the subclass side gains a stronger goal and is
+        re-attempted).  A quiescent pair can only be re-enabled by such a
+        goal strengthening, so the worklist visits every pair the former
+        full rescan would have changed, in the same most-derived-first /
+        declaration order -- results are byte-identical while total
+        resolution work drops from O(SCCs x pairs) to
+        O(pairs + strengthenings).
         """
-        pairs = [
-            (sub, sup, mn)
-            for (sub, sup, mn) in self.table.override_pairs()
-            if f"{sub}.{mn}" in self._done and f"{sup}.{mn}" in self._done
-        ]
-        for _ in range(16):
-            changed = False
-            for sub, sup, mn in sorted(
-                pairs, key=lambda p: -len(self.table.ancestors(p[0]))
-            ):
-                changed |= self._resolver.resolve_pair(sub, sup, mn)
-            if not changed:
-                return
-        raise InferenceError("override conflict resolution did not stabilise")
+        if not self._pending_pairs:
+            return
+
+        def sort_key(pair: Tuple[str, str, str]) -> Tuple[int, int]:
+            return (-len(self.table.ancestors(pair[0])), self._pair_order[pair])
+
+        batch = sorted(self._pending_pairs, key=sort_key)
+        self._pending_pairs.clear()
+        queued = set(batch)
+        limit = 16 * (len(self._pair_order) + len(batch) + 1)
+        i = 0
+        while i < len(batch):
+            pair = batch[i]
+            queued.discard(pair)
+            i += 1
+            if i > limit:
+                raise InferenceError(
+                    "override conflict resolution did not stabilise"
+                )
+            self.resolution_pairs_checked += 1
+            sub, sup, mn = pair
+            if self._resolver.resolve_pair(sub, sup, mn):
+                # pre.sup.mn (and/or inv.sub) strengthened: the pair where
+                # sup overrides *its* superclass now has a stronger goal.
+                # It sorts strictly later (fewer ancestors), so inserting
+                # into the unprocessed tail keeps the batch sorted.
+                over = self.table.overridden_method(sup, mn)
+                if over is not None and f"{over[1]}.{mn}" in self._done:
+                    ripple = (sup, over[1], mn)
+                    if ripple not in queued:
+                        bisect.insort(batch, ripple, lo=i, key=sort_key)
+                        queued.add(ripple)
 
     # ------------------------------------------------------------ method level
     def _hypotheses(self, scheme: MethodScheme) -> Constraint:
@@ -764,6 +860,17 @@ class RegionInference:
         because the checker re-assumes the invariants.
         """
         scheme = self.schemes[qualified]
+        whole_q = self.q
+        if self._footprints is not None:
+            # minimisation reads the method's own pre and its signature
+            # hypotheses -- all inside the method's SCC footprint
+            self.q = self._scoped_q(self._footprints.for_method(qualified))
+        try:
+            self._minimize_pre_scoped(scheme)
+        finally:
+            self.q = whole_q
+
+    def _minimize_pre_scoped(self, scheme: MethodScheme) -> None:
         abstraction = self.q[scheme.pre]
         hyp = self._hypotheses(scheme)
         kept = [a for a in abstraction.body.sorted_atoms()]
@@ -1287,7 +1394,9 @@ class _IncrementalInference(RegionInference):
     ):
         self.program = program
         self.config = config
-        self.q = AbstractionEnv(prior.pristine_q.values())
+        # overlay the prior run's frozen pristine mapping directly: O(1)
+        # seeding, and replay writes stay private to this run
+        self.q = AbstractionEnv.over(prior.pristine_q)
         self.table = table
         self.annotations = prior.annotations
         self.annotator = ClassAnnotator.adopt(table, self.q, prior.annotations)
@@ -1357,8 +1466,9 @@ class _IncrementalInference(RegionInference):
                 self.schemes[qn] = scheme
         self._tmethods = {}
         self._done = set()
-        self._resolver = OverrideResolver(
-            self.table, self.q, self.annotations, self.schemes
+        self._init_resolution()
+        self._footprints = (
+            SccFootprints(graph) if config.footprint_scope else None
         )
         self.result = None
 
@@ -1372,7 +1482,8 @@ class _IncrementalInference(RegionInference):
             schemes=self.schemes,
             config=self.config,
         )
-        result.pristine_q = dict(prior.pristine_q)
+        # the seed mapping is frozen; aliasing it avoids an O(classes) copy
+        result.pristine_q = prior.pristine_q
         result.plan_salts = self._salts
         reused: List[str] = []
         entry_min_pres: Dict[str, ConstraintAbstraction] = {}
@@ -1388,7 +1499,7 @@ class _IncrementalInference(RegionInference):
                 result.fixpoint_iterations[key] = prior.fixpoint_iterations.get(
                     key, 0
                 )
-                self._done.update(scc)
+                self._mark_done(scc)
                 result.reused_sccs += 1
                 reused.extend(scc)
             elif key in self._entry_splice:
@@ -1400,7 +1511,7 @@ class _IncrementalInference(RegionInference):
                     if qn in entry.min_pres:
                         entry_min_pres[qn] = entry.min_pres[qn]
                 result.fixpoint_iterations[key] = entry.fixpoint_iterations
-                self._done.update(scc)
+                self._mark_done(scc)
                 result.reused_sccs += 1
                 reused.extend(scc)
             else:

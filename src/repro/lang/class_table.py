@@ -59,6 +59,9 @@ class ClassTable:
             for name in scc:
                 self._scc_of[name] = i
         self._check_members()
+        self._mutated_field_names: Optional[Set[str]] = None
+        self._rec_read_only: Dict[str, bool] = {}
+        self._override_pairs: Optional[Tuple[Tuple[str, str, str], ...]] = None
 
     # -- construction --------------------------------------------------------
     def _build(self) -> None:
@@ -226,13 +229,15 @@ class ClassTable:
 
     def override_pairs(self) -> Tuple[Tuple[str, str, str], ...]:
         """All (subclass, superclass, method) override relationships."""
-        out: List[Tuple[str, str, str]] = []
-        for c in self.program.classes:
-            for m in c.methods:
-                over = self.overridden_method(c.name, m.name)
-                if over is not None:
-                    out.append((c.name, over[1], m.name))
-        return tuple(out)
+        if self._override_pairs is None:
+            out: List[Tuple[str, str, str]] = []
+            for c in self.program.classes:
+                for m in c.methods:
+                    over = self.overridden_method(c.name, m.name)
+                    if over is not None:
+                        out.append((c.name, over[1], m.name))
+            self._override_pairs = tuple(out)
+        return self._override_pairs
 
     # -- recursion structure ----------------------------------------------------
     def _field_reference_sccs(self) -> List[List[str]]:
@@ -285,17 +290,32 @@ class ClassTable:
         When true, *field* region subtyping may treat the recursive region
         covariantly (Sec 3.2), which is what lets Reynolds3 place each list
         cell in its own (possibly shorter-lived) region.
+
+        The name-based conservative check ("an assignment anywhere to a
+        field with this name might mutate a cn") only needs the set of
+        field names ever assigned outside initialisation, so that set is
+        built once per table and each class's verdict is memoised: a query
+        costs O(own recursive fields) instead of a whole-program walk.
         """
+        cached = self._rec_read_only.get(name)
+        if cached is not None:
+            return cached
         rec_names = {f.name for f in self.split(name)[1]}
         if not rec_names:
+            self._rec_read_only[name] = False
             return False
-        for method in self.program.all_methods():
-            for node in walk(method.body):
-                if isinstance(node, Assign) and isinstance(node.lhs, FieldRead):
-                    if node.lhs.field_name in rec_names:
-                        # conservatively assume the receiver may be a cn
-                        return False
-        return True
+        if self._mutated_field_names is None:
+            mutated: Set[str] = set()
+            for method in self.program.all_methods():
+                for node in walk(method.body):
+                    if isinstance(node, Assign) and isinstance(node.lhs, FieldRead):
+                        mutated.add(node.lhs.field_name)
+            self._mutated_field_names = mutated
+        # conservatively assume any same-named assignment's receiver may
+        # be a cn
+        verdict = not (rec_names & self._mutated_field_names)
+        self._rec_read_only[name] = verdict
+        return verdict
 
 
 def _tarjan(nodes: Sequence[str], edges: Dict[str, Set[str]]) -> List[List[str]]:

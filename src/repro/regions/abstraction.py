@@ -22,12 +22,27 @@ The collection ``Q`` of all abstractions of a program is an
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .constraints import Constraint, PredAtom, Region, TRUE
 from .substitution import RegionSubst
 
-__all__ = ["ConstraintAbstraction", "AbstractionEnv", "inv_name", "pre_name"]
+__all__ = [
+    "ConstraintAbstraction",
+    "AbstractionEnv",
+    "FootprintViolation",
+    "ScopedAbstractionEnv",
+    "inv_name",
+    "pre_name",
+]
 
 
 def inv_name(class_name: str) -> str:
@@ -127,43 +142,98 @@ class AbstractionEnv:
     Provides registration, lookup, instantiation and full inlining
     (expansion of all pred atoms, assuming every referenced abstraction is
     closed).
+
+    Internally the env is a *copy-on-write overlay*: a shared, frozen
+    ``_base`` mapping (typically the class invariants a program's
+    annotation pass produced) plus a private ``_local`` dict holding this
+    env's own writes.  Forking an env for a new inference run
+    (:meth:`overlay`) is then O(1) instead of O(classes) -- every run
+    shares one invariant base and only pays for what it defines itself.
+    Iteration reproduces plain-dict semantics exactly: base entries in
+    base order (local redefinitions shadowing in place), then local-only
+    entries in insertion order.
     """
 
     def __init__(self, abstractions: Iterable[ConstraintAbstraction] = ()):
-        self._by_name: Dict[str, ConstraintAbstraction] = {}
+        self._base: Dict[str, ConstraintAbstraction] = {}
+        self._local: Dict[str, ConstraintAbstraction] = {}
         for a in abstractions:
             self.define(a)
+
+    # -- forking -----------------------------------------------------------------
+    def snapshot_base(self) -> Dict[str, ConstraintAbstraction]:
+        """This env's entries as one shared mapping, promoting local
+        writes into the frozen base first (order-preserving).
+
+        The returned dict must be treated as immutable: it is aliased by
+        every overlay forked from this env (and by the ``pristine_q``
+        replay seed of inference results).
+        """
+        if self._local:
+            self._base = {a.name: a for a in self}
+            self._local = {}
+        return self._base
+
+    def overlay(self) -> "AbstractionEnv":
+        """An O(1) copy-on-write fork holding this env's current entries.
+
+        The fork sees this env's state as of the call; writes on either
+        side stay private (this env writes to its own local overlay, so
+        the shared base is never mutated again).
+        """
+        return AbstractionEnv.over(self.snapshot_base())
+
+    @classmethod
+    def over(
+        cls, base: Dict[str, ConstraintAbstraction]
+    ) -> "AbstractionEnv":
+        """An env overlaying a frozen name->abstraction mapping, no copy."""
+        env = cls()
+        env._base = base
+        return env
 
     # -- mutation ---------------------------------------------------------------
     def define(self, abstraction: ConstraintAbstraction) -> None:
         """Register (or replace) an abstraction."""
-        self._by_name[abstraction.name] = abstraction
+        self._local[abstraction.name] = abstraction
 
     def strengthen(self, name: str, extra: Constraint) -> None:
         """Conjoin ``extra`` onto the named abstraction's body."""
-        self._by_name[name] = self._by_name[name].strengthened(extra)
+        self._local[name] = self[name].strengthened(extra)
 
     # -- lookup --------------------------------------------------------------------
     def __contains__(self, name: str) -> bool:
-        return name in self._by_name
+        return name in self._local or name in self._base
 
     def __getitem__(self, name: str) -> ConstraintAbstraction:
-        try:
-            return self._by_name[name]
-        except KeyError:
-            raise KeyError(f"no constraint abstraction named {name!r}") from None
+        found = self._local.get(name)
+        if found is None:
+            found = self._base.get(name)
+        if found is None:
+            raise KeyError(f"no constraint abstraction named {name!r}")
+        return found
 
     def get(self, name: str) -> Optional[ConstraintAbstraction]:
-        return self._by_name.get(name)
+        found = self._local.get(name)
+        if found is None:
+            found = self._base.get(name)
+        return found
 
     def __iter__(self) -> Iterator[ConstraintAbstraction]:
-        return iter(self._by_name.values())
+        local = self._local
+        base = self._base
+        for name, a in base.items():
+            yield local.get(name, a)
+        for name, a in local.items():
+            if name not in base:
+                yield a
 
     def __len__(self) -> int:
-        return len(self._by_name)
+        base = self._base
+        return len(base) + sum(1 for name in self._local if name not in base)
 
     def names(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._by_name))
+        return tuple(sorted(self._base.keys() | self._local.keys()))
 
     # -- expansion -----------------------------------------------------------------
     def instantiate(self, name: str, args: Sequence[Region]) -> Constraint:
@@ -188,4 +258,67 @@ class AbstractionEnv:
         return result
 
     def __str__(self) -> str:
-        return "\n".join(str(self._by_name[n]) for n in sorted(self._by_name))
+        return "\n".join(str(self[n]) for n in self.names())
+
+
+class FootprintViolation(KeyError):
+    """An abstraction outside the declared per-SCC footprint was read."""
+
+
+class ScopedAbstractionEnv(AbstractionEnv):
+    """A footprint-restricted *view* of an :class:`AbstractionEnv`.
+
+    Per-SCC inference steps are supposed to touch only the SCC's
+    reachable footprint (the transitive call+field+override closure of
+    its methods); this view makes that a checked contract.  Reads outside
+    ``allowed`` raise :class:`FootprintViolation`; reads inside it, and
+    all writes, delegate to the wrapped env -- so wrapping changes no
+    observable inference behaviour, it only turns a silent whole-program
+    dependency into a loud error.
+    """
+
+    def __init__(self, env: AbstractionEnv, allowed: AbstractSet[str]):
+        self._env = env
+        self._allowed = allowed
+
+    def _check(self, name: str) -> None:
+        if name not in self._allowed:
+            raise FootprintViolation(
+                f"abstraction {name!r} is outside the current SCC footprint "
+                f"({len(self._allowed)} names)"
+            )
+
+    # -- mutation (delegated) -------------------------------------------------
+    def define(self, abstraction: ConstraintAbstraction) -> None:
+        self._env.define(abstraction)
+
+    def strengthen(self, name: str, extra: Constraint) -> None:
+        self._env.strengthen(name, extra)
+
+    # -- lookup (footprint-gated) ---------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        self._check(name)
+        return name in self._env
+
+    def __getitem__(self, name: str) -> ConstraintAbstraction:
+        self._check(name)
+        return self._env[name]
+
+    def get(self, name: str) -> Optional[ConstraintAbstraction]:
+        self._check(name)
+        return self._env.get(name)
+
+    def __iter__(self) -> Iterator[ConstraintAbstraction]:
+        return iter(self._env)
+
+    def __len__(self) -> int:
+        return len(self._env)
+
+    def names(self) -> Tuple[str, ...]:
+        return self._env.names()
+
+    def snapshot_base(self) -> Dict[str, ConstraintAbstraction]:
+        return self._env.snapshot_base()
+
+    def overlay(self) -> AbstractionEnv:
+        return self._env.overlay()

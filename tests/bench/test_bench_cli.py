@@ -60,7 +60,7 @@ class TestBenchList:
         families = {f["name"]: f for f in payload["families"]}
         assert len(families) >= 8
         reinfer = families["incremental_reinfer"]
-        assert {"metric": "speedup", "floor": 5.0, "ceiling": None,
+        assert {"metric": "speedup", "floor": 3.0, "ceiling": None,
                 "min_cores": 1} in reinfer["thresholds"]
         assert reinfer["key_fields"] == ["corpus", "edit"]
 

@@ -10,7 +10,10 @@ the exact feature interaction that provoked it.
 
 import pytest
 
+from repro.core import InferenceConfig, SubtypingMode, infer_program
+from repro.frontend import parse_program
 from repro.gen import GenSpec, check_program_invariants, feature_matrix, generate_source
+from repro.lang.pretty import pretty_target
 
 _TOGGLES = ("recursion", "loops", "downcasts", "overrides", "letreg")
 _SEEDS = (0, 1, 2)
@@ -36,3 +39,25 @@ def test_feature_combination_passes_oracle(spec):
 def test_matrix_is_exhaustive():
     assert len(MATRIX) == 2 ** len(_TOGGLES)
     assert len({_matrix_id(s) for s in MATRIX}) == len(MATRIX)
+
+
+@pytest.mark.parametrize("spec", MATRIX, ids=_matrix_id)
+def test_footprint_scoped_inference_is_byte_identical(spec):
+    """Footprint scoping gates reads; it must never change inference.
+
+    Every feature combination is inferred twice -- once against the
+    per-SCC footprint-restricted env view (the default), once against
+    the whole env -- and the pretty-printed targets must agree byte for
+    byte.  A footprint computed too small fails loudly instead
+    (``FootprintViolation``), so this also sweeps the footprint
+    closure over every generator feature.
+    """
+    source = generate_source(spec.with_seed(0))
+    rendered = {}
+    for scoped in (True, False):
+        config = InferenceConfig(
+            mode=SubtypingMode.FIELD, footprint_scope=scoped
+        )
+        result = infer_program(parse_program(source), config)
+        rendered[scoped] = pretty_target(result.target)
+    assert rendered[True] == rendered[False]

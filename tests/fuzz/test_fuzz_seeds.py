@@ -55,6 +55,32 @@ def test_thousand_class_corpus_parses_and_typechecks():
 
 @pytest.mark.skipif(
     os.environ.get("REPRO_GEN_SCALE") != "1",
+    reason="mid-tier scale run (~1 min); set REPRO_GEN_SCALE=1",
+)
+def test_three_hundred_class_infer_stays_near_linear():
+    """Footprint-proportional inference: 3x the classes, ~3x the time.
+
+    The budget is derived from the same-run 100-class sample rather
+    than a wall-clock constant, so the assertion is host-independent:
+    linear scaling predicts a 3x ratio, the old quadratic behaviour a
+    9x one, and the 5x ceiling rejects any relapse while absorbing
+    measurement noise.
+    """
+    from repro.bench.families import measure_gen_pipeline
+
+    base = measure_gen_pipeline(100, rounds=2)
+    mid = measure_gen_pipeline(300, rounds=2)
+    for stage in ("infer_s", "verify_s"):
+        ratio = mid[stage] / base[stage]
+        assert ratio <= 5.0, (
+            f"{stage} grew {ratio:.1f}x from 100 to 300 classes "
+            f"({base[stage] * 1000:.0f}ms -> {mid[stage] * 1000:.0f}ms); "
+            "near-linear scaling predicts ~3x"
+        )
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_GEN_SCALE") != "1",
     reason="~10 min full-pipeline scale run; set REPRO_GEN_SCALE=1",
 )
 def test_thousand_class_corpus_full_pipeline():

@@ -70,6 +70,34 @@ class TestRun(object):
         assert "result: 42" in capsys.readouterr().out
 
 
+class TestProfile(object):
+    def test_reports_all_three_stages(self, source_file, capsys):
+        assert main(["profile", source_file, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("parse:", "infer:", "verify:", "total:"):
+            assert stage in out
+        assert "infer_program" in out  # top-by-cumulative includes the entry
+
+    def test_json_payload_shape(self, source_file, capsys):
+        import json
+
+        assert main(["profile", source_file, "--top", "2", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["command"] == "profile"
+        assert [s["stage"] for s in payload["stages"]] == [
+            "parse", "infer", "verify",
+        ]
+        for stage in payload["stages"]:
+            assert len(stage["top"]) <= 2
+            for row in stage["top"]:
+                assert row["cumtime_s"] >= row["tottime_s"] - 1e-9
+        assert payload["total_seconds"] >= 0
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "absent.cj")]) == 2
+
+
 BROKEN = "class Broken extends Object { int"
 
 
